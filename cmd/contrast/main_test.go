@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("x,c,label\n")
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			b.WriteString("0.2,low,A\n")
+		} else {
+			b.WriteString("0.8,high,B\n")
+		}
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeCSV(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "label"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "200 rows") {
+		t.Errorf("missing dataset line: %s", s)
+	}
+	if !strings.Contains(s, "score=") {
+		t.Errorf("no contrasts printed: %s", s)
+	}
+}
+
+func TestRunNPAndMeasures(t *testing.T) {
+	path := writeCSV(t)
+	for _, m := range []string{"diff", "pr", "surprising"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-input", path, "-group", "label", "-measure", m, "-np"}, &out, &errBuf)
+		if code != 0 {
+			t.Errorf("measure %s: exit %d (%s)", m, code, errBuf.String())
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("missing flags: exit %d, want 2", code)
+	}
+	if code := run([]string{"-input", "x.csv"}, &out, &errBuf); code != 2 {
+		t.Errorf("missing group: exit %d, want 2", code)
+	}
+	if code := run([]string{"-input", "x.csv", "-group", "g", "-measure", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad measure: exit %d, want 2", code)
+	}
+	if code := run([]string{"-input", "/nonexistent.csv", "-group", "g"}, &out, &errBuf); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunOutputFormats(t *testing.T) {
+	path := writeCSV(t)
+	for _, format := range []string{"markdown", "csv", "json"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-input", path, "-group", "label", "-format", format}, &out, &errBuf)
+		if code != 0 {
+			t.Errorf("format %s: exit %d (%s)", format, code, errBuf.String())
+			continue
+		}
+		s := out.String()
+		if strings.Contains(s, "dataset:") {
+			t.Errorf("format %s should not include the text preamble", format)
+		}
+		switch format {
+		case "markdown":
+			if !strings.Contains(s, "| ---") {
+				t.Error("markdown separator missing")
+			}
+		case "csv":
+			if !strings.HasPrefix(s, "rank,") {
+				t.Error("csv header missing")
+			}
+		case "json":
+			if !strings.HasPrefix(strings.TrimSpace(s), "[") {
+				t.Error("json array missing")
+			}
+		}
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "label", "-format", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad format: exit %d, want 2", code)
+	}
+}
+
+func TestRunBadGroupColumn(t *testing.T) {
+	path := writeCSV(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "missing"}, &out, &errBuf); code != 1 {
+		t.Errorf("bad group column: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "missing") {
+		t.Error("error message should mention the column")
+	}
+}
+
+func TestRunForceCategorical(t *testing.T) {
+	path := writeCSV(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "label", "-categorical", "x"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "x = ") {
+		t.Error("forced-categorical attribute should appear as equality items")
+	}
+}

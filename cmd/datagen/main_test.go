@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdadcs"
+)
+
+func TestRunEmitsCSV(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-dataset", "simulated3", "-rows", "100", "-seed", "9"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	d, err := sdadcs.FromCSV(&out, sdadcs.CSVOptions{GroupColumn: "group"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 100 || d.NumAttrs() != 2 {
+		t.Errorf("shape: rows=%d attrs=%d", d.Rows(), d.NumAttrs())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatal("list failed")
+	}
+	s := out.String()
+	for _, want := range []string{"figure2", "manufacturing", "uci:Spambase", "uci:Covtype"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunAllGenerators(t *testing.T) {
+	names := []string{
+		"figure2", "simulated1", "simulated2", "simulated3", "simulated4",
+		"uci:BreastCancer",
+	}
+	for _, name := range names {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-dataset", name, "-rows", "120", "-seed", "3"}, &out, &errBuf)
+		if code != 0 {
+			t.Errorf("%s: exit %d (%s)", name, code, errBuf.String())
+			continue
+		}
+		if _, err := sdadcs.FromCSV(&out, sdadcs.CSVOptions{GroupColumn: "group"}); err != nil {
+			t.Errorf("%s: emitted invalid CSV: %v", name, err)
+		}
+	}
+}
+
+func TestRunAdultAndManufacturingRowSplits(t *testing.T) {
+	for _, name := range []string{"adult", "manufacturing"} {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-dataset", name, "-rows", "200", "-seed", "5"}, &out, &errBuf)
+		if code != 0 {
+			t.Fatalf("%s: exit %d", name, code)
+		}
+		d, err := sdadcs.FromCSV(&out, sdadcs.CSVOptions{GroupColumn: "group"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Rows() != 200 {
+			t.Errorf("%s: rows = %d, want 200", name, d.Rows())
+		}
+		if d.NumGroups() != 2 {
+			t.Errorf("%s: groups = %d", name, d.NumGroups())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-dataset", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown dataset: exit %d, want 2", code)
+	}
+	if code := run([]string{"-dataset", "uci:nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown uci shape: exit %d, want 2", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures
+// (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments -run all            # everything (minutes)
+//	experiments -run t4 -quick      # one artifact on shrunken data
+//
+// Artifacts: f2 f3 f4 t1 t2 t3 t4 t5 t6 t7 scaling ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sdadcs/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runArg = fs.String("run", "all", "comma-separated artifacts: f2,f3,f4,t1..t7,scaling,ablation or all")
+		quick  = fs.Bool("quick", false, "shrink datasets (4x fewer rows)")
+		seed   = fs.Int64("seed", 0, "generator seed (0 = default)")
+		depth  = fs.Int("depth", 0, "search depth (0 = default 2)")
+		topk   = fs.Int("topk", 0, "patterns per algorithm (0 = default 100)")
+		only   = fs.String("only", "", "comma-separated dataset filter for t4/t5/t6")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := experiments.Options{Seed: *seed, Depth: *depth, TopK: *topk, Quick: *quick}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	want := map[string]bool{}
+	for _, part := range strings.Split(*runArg, ",") {
+		want[strings.TrimSpace(strings.ToLower(part))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	exec := func(key string, f func()) {
+		if !all && !want[key] {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Fprintf(stdout, "[%s completed in %s]\n\n", key, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+
+	exec("f2", func() { experiments.Figure2(opts).Table.Fprint(stdout) })
+	exec("f3", func() {
+		for _, t := range experiments.Figure3(opts).Tables {
+			t.Fprint(stdout)
+		}
+	})
+	exec("f4", func() {
+		for _, t := range experiments.Figure4(opts).Tables {
+			t.Fprint(stdout)
+		}
+	})
+	exec("t1", func() { experiments.Table1(opts).Table.Fprint(stdout) })
+	exec("t2", func() { experiments.Table2(opts).Fprint(stdout) })
+	exec("t3", func() { experiments.Table3(opts).Table.Fprint(stdout) })
+	exec("t4", func() { experiments.Table4(opts).Table.Fprint(stdout) })
+	exec("t5", func() { experiments.Table5(opts).Table.Fprint(stdout) })
+	exec("t6", func() { experiments.Table6(opts).Table.Fprint(stdout) })
+	exec("t7", func() { experiments.Table7(opts).Table.Fprint(stdout) })
+	exec("scaling", func() { experiments.Scaling(opts).Table.Fprint(stdout) })
+	exec("ablation", func() { experiments.Ablation(opts).Table.Fprint(stdout) })
+	exec("validation", func() { experiments.Validation(opts).Table.Fprint(stdout) })
+
+	if ran == 0 {
+		fmt.Fprintf(stderr, "experiments: nothing matched -run=%q\n", *runArg)
+		return 2
+	}
+	return 0
+}

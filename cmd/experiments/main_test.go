@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifact(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-run", "f2", "-quick"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 2") || !strings.Contains(s, "[f2 completed") {
+		t.Errorf("output missing artifact: %s", s)
+	}
+}
+
+func TestRunMultipleArtifacts(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-run", "t2, f2", "-quick"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 2") || !strings.Contains(s, "Figure 2") {
+		t.Error("missing artifacts in combined run")
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-run", "t6", "-quick", "-only", "Transfusion"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Transfusion") {
+		t.Error("filtered dataset missing")
+	}
+	if strings.Contains(s, "Covtype") {
+		t.Error("filter did not exclude other datasets")
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown artifact: exit %d, want 2", code)
+	}
+	if code := run([]string{"-notaflag"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

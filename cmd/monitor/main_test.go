@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStreamCSV emits a replay file: normal regime, then a hot regime
+// where high temperature on lane "rear" fails.
+func writeStreamCSV(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var b strings.Builder
+	b.WriteString("temp,lane,result\n")
+	emit := func(n int, hot bool) {
+		for i := 0; i < n; i++ {
+			temp := 100 + rng.Float64()*100
+			lane := []string{"front", "rear"}[rng.Intn(2)]
+			result := "pass"
+			if hot && temp > 170 && lane == "rear" && rng.Float64() < 0.95 {
+				result = "fail"
+			} else if rng.Float64() < 0.04 {
+				result = "fail"
+			}
+			fmt.Fprintf(&b, "%.3f,%s,%s\n", temp, lane, result)
+		}
+	}
+	emit(1200, false)
+	emit(1600, true)
+	path := filepath.Join(t.TempDir(), "stream.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReplayDetectsChange(t *testing.T) {
+	path := writeStreamCSV(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "result", "-window", "800", "-every", "400"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "windows mined") {
+		t.Fatalf("missing summary: %s", s)
+	}
+	if !strings.Contains(s, "[appeared]") {
+		t.Errorf("no appearance events in replay output:\n%s", s)
+	}
+	if !strings.Contains(s, "temp") {
+		t.Error("events do not mention the temperature attribute")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("missing flags: exit %d", code)
+	}
+	if code := run([]string{"-input", "/nonexistent.csv", "-group", "g"}, &out, &errBuf); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}
+
+func TestRunBadGroupColumn(t *testing.T) {
+	path := writeStreamCSV(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "missing"}, &out, &errBuf); code != 1 {
+		t.Errorf("bad group: exit %d", code)
+	}
+}
+
+func TestRunEmptyCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(path, []byte("a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "b"}, &out, &errBuf); code != 1 {
+		t.Errorf("no data rows: exit %d", code)
+	}
+}

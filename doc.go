@@ -1,0 +1,30 @@
+// Package sdadcs is a contrast set miner for quantitative (mixed
+// categorical + continuous) data, reproducing Khade, Lin & Patel, "Finding
+// Meaningful Contrast Patterns for Quantitative Data" (EDBT 2019).
+//
+// Contrast set mining finds patterns — conjunctions of attribute=value and
+// attribute∈(lo,hi] conditions — whose support differs significantly
+// between groups of a dataset. Unlike classifiers, the output is meant to
+// be read: every pattern comes with per-group supports, a chi-square
+// significance, and meaningfulness guarantees (non-redundant, productive,
+// independently productive).
+//
+// The package's discretization is supervised, dynamic and adaptive: bins
+// for continuous attributes are chosen during the search, jointly over the
+// attributes of each candidate pattern, so multivariate interactions
+// (XOR-style structure invisible to any univariate binning) are found.
+//
+// # Quickstart
+//
+//	d, err := sdadcs.FromCSV(file, sdadcs.CSVOptions{GroupColumn: "label"})
+//	if err != nil { ... }
+//	res := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})
+//	for _, c := range res.Contrasts {
+//		fmt.Println(c.Format(d))
+//	}
+//
+// Baselines from the paper's evaluation — Bay's MVD, Fayyad–Irani entropy
+// (MDLP) discretization, STUCCO categorical mining and Cortana-style
+// subgroup discovery — are exposed via MineMVD, MineEntropy, MineSTUCCO
+// and MineSubgroups for comparison studies.
+package sdadcs

@@ -1,0 +1,124 @@
+package sdadcs_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sdadcs"
+)
+
+// demo builds a small, fully deterministic mixed dataset: parts fail
+// exactly when they run hot on machine M2. Machine assignment alternates
+// per 100-row block so it is independent of temperature.
+func demo() *sdadcs.Dataset {
+	n := 400
+	temp := make([]float64, n)
+	machine := make([]string, n)
+	group := make([]string, n)
+	for i := 0; i < n; i++ {
+		temp[i] = 100 + float64(i%100) // 100..199, cycling
+		machine[i] = []string{"M1", "M2"}[(i/100)%2]
+		if temp[i] >= 150 && machine[i] == "M2" {
+			group[i] = "fail"
+		} else {
+			group[i] = "pass"
+		}
+	}
+	return sdadcs.NewBuilder("line").
+		AddContinuous("temperature", temp).
+		AddCategorical("machine", machine).
+		SetGroups(group).
+		MustBuild()
+}
+
+func ExampleMine() {
+	d := demo()
+	res := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})
+	// The planted failure rule (hot temperature on machine M2) appears as
+	// a joint two-attribute pattern covering every failing part.
+	fail := d.GroupIndex("fail")
+	for _, c := range res.Contrasts {
+		if c.Set.Len() == 2 && c.Supports.Supp(fail) == 1 {
+			fmt.Println("joint failure pattern found, covering all failures")
+			break
+		}
+	}
+	// Output: joint failure pattern found, covering all failures
+}
+
+func ExampleFromCSV() {
+	csv := "x,label\n1,A\n2,A\n3,B\n4,B\n"
+	d, err := sdadcs.FromCSV(strings.NewReader(csv), sdadcs.CSVOptions{GroupColumn: "label"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Rows(), "rows,", d.NumAttrs(), "attribute,", d.NumGroups(), "groups")
+	// Output: 4 rows, 1 attribute, 2 groups
+}
+
+func ExampleClassify() {
+	d := demo()
+	res := sdadcs.Mine(d, sdadcs.Config{SkipMeaningfulFilter: true})
+	meaning := sdadcs.Classify(d, res.Contrasts, 0.05)
+	meaningful := 0
+	for _, m := range meaning {
+		if m.Meaningful() {
+			meaningful++
+		}
+	}
+	fmt.Println("meaningful:", meaningful > 0)
+	// Output: meaningful: true
+}
+
+func ExampleValidateHoldout() {
+	d := demo()
+	_, holdout := d.All().StratifiedSplit(0.5, 1)
+	res := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})
+	vs := sdadcs.ValidateHoldout(holdout, res.Contrasts, 0.1, 0.05)
+	fmt.Printf("replication rate: %.0f%%\n", 100*sdadcs.ReplicationRate(vs))
+	// Output: replication rate: 100%
+}
+
+func ExampleMeasure() {
+	// The Surprising Measure (Eq. 13) prefers pure contrasts over merely
+	// large ones: c2 below has the same support difference as c1 but is
+	// twice as pure.
+	c1 := sdadcs.Supports{Count: []int{90, 80}, Size: []int{100, 100}}
+	c2 := sdadcs.Supports{Count: []int{20, 10}, Size: []int{100, 100}}
+	fmt.Printf("diff: %.2f vs %.2f\n", c1.MaxDiff(), c2.MaxDiff())
+	fmt.Println("surprising order:",
+		sdadcs.SurprisingMeasure.Eval(c2) > sdadcs.SurprisingMeasure.Eval(c1))
+	// Output:
+	// diff: 0.10 vs 0.10
+	// surprising order: true
+}
+
+func ExampleWriteReport() {
+	d := demo()
+	cs := []sdadcs.Contrast{{
+		Set: func() sdadcs.Itemset {
+			items := []sdadcs.Item{{
+				Attr: 0, Kind: sdadcs.Continuous,
+				Range: sdadcs.Interval{Lo: 174, Hi: math.Inf(1)},
+			}}
+			return newItemset(items)
+		}(),
+		Supports: sdadcs.Supports{Count: []int{0, 100}, Size: []int{300, 100}},
+		Score:    1,
+	}}
+	var sb strings.Builder
+	if err := sdadcs.WriteReport(&sb, sdadcs.ReportCSV, d, cs); err != nil {
+		panic(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	sort.Strings(lines[:1]) // keep vet happy about determinism intent
+	fmt.Println(lines[0])
+	// Output: rank,contrast,supp_pass,supp_fail,score,chi2,p
+}
+
+// newItemset adapts a slice to the variadic constructor.
+func newItemset(items []sdadcs.Item) sdadcs.Itemset {
+	return sdadcs.NewItemset(items...)
+}

@@ -1,0 +1,37 @@
+// Interactions: the multivariate litmus test (the paper's Figure 3b). Two
+// Gaussian arms form an "X": neither attribute separates the groups on its
+// own, so every univariate discretizer is blind — but the groups are
+// cleanly separated in the joint space. SDAD-CS's adaptive joint binning
+// finds the four corner boxes.
+//
+// Run with:
+//
+//	go run ./examples/interactions
+package main
+
+import (
+	"fmt"
+
+	"sdadcs"
+	"sdadcs/internal/datagen"
+)
+
+func main() {
+	d := datagen.Simulated2(3, 4000)
+
+	// Univariate view: the entropy discretizer (group as class) finds no
+	// cut point on either attribute.
+	ecs, _ := sdadcs.MineEntropy(d, sdadcs.STUCCOConfig{})
+	fmt.Printf("entropy (univariate) contrasts: %d\n", len(ecs))
+
+	// SDAD-CS: joint median splits expose the quadrant structure.
+	res := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})
+	fmt.Printf("SDAD-CS contrasts: %d\n\n", len(res.Contrasts))
+	for _, c := range res.Contrasts {
+		fmt.Printf("  %s  score=%.3f\n", c.Format(d), c.Score)
+	}
+
+	fmt.Println("\nEach box pairs a half-range of Attribute1 with a half-range of")
+	fmt.Println("Attribute2 — the interaction is only visible when both attributes")
+	fmt.Println("are discretized together, which is the core claim of the paper.")
+}

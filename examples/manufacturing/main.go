@@ -1,0 +1,60 @@
+// Manufacturing: the paper's §6 case study. A semiconductor packaging
+// line produces per-part context (equipment, tray position) and sensor
+// readings (reflow-oven thermal profile); parts that failed final test are
+// contrasted against a sample of the whole population to localize the
+// root cause.
+//
+// Run with:
+//
+//	go run ./examples/manufacturing
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sdadcs"
+	"sdadcs/internal/datagen"
+)
+
+func main() {
+	// Synthetic line data with a planted failure signature: the rear lane
+	// of the reflow oven on chip-attach module SCE runs hot (see
+	// DESIGN.md §3 — the paper's own dataset is Intel-proprietary).
+	d := datagen.Manufacturing(datagen.ManufacturingConfig{
+		Seed:       20190326,
+		Population: 8000,
+		Failed:     2000,
+		Features:   60,
+	})
+	pop := d.GroupIndex("Population")
+	fail := d.GroupIndex("Failed")
+
+	fmt.Printf("parts: %d population sample + %d failed, %d attributes\n\n",
+		d.GroupSizes()[pop], d.GroupSizes()[fail], d.NumAttrs())
+
+	start := time.Now()
+	res := sdadcs.Mine(d, sdadcs.Config{
+		Measure:  sdadcs.SupportDiff,
+		MaxDepth: 2,
+		Workers:  runtime.NumCPU(), // §6's parallel per-level strategy
+	})
+	elapsed := time.Since(start)
+
+	fmt.Printf("%-55s %9s %10s %8s\n", "contrast set", "supp diff", "population", "failed")
+	for _, c := range res.Contrasts {
+		fmt.Printf("%-55s %9.2f %10.2f %8.2f\n",
+			c.Set.Format(d),
+			c.Supports.MaxDiff(),
+			c.Supports.Supp(pop),
+			c.Supports.Supp(fail))
+	}
+
+	fmt.Printf("\nmined in %s with %d workers (%d spaces evaluated, %d pruned, %d filtered as not meaningful)\n",
+		elapsed.Round(time.Millisecond), runtime.NumCPU(),
+		res.Stats.PartitionsEvaluated, res.Stats.SpacesPruned, res.Stats.FilteredOut)
+	fmt.Println("\nReading the output: failures concentrate on one chip-attach module and")
+	fmt.Println("its placement tool, in the rear tray row, with elevated reflow-oven")
+	fmt.Println("readings — pointing at temperature control in that module's rear lane.")
+}

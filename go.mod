@@ -1,0 +1,3 @@
+module sdadcs
+
+go 1.22

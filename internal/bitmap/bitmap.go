@@ -1,0 +1,155 @@
+// Package bitmap provides uint64 bitsets and a per-value bitmap index over
+// a dataset's categorical attributes and groups. Contrast set mining over
+// categorical (or pre-binned) data reduces to intersecting value bitmaps
+// and popcounting against group masks — the representation SciCSM (Zhu et
+// al. 2015, the paper's ref [29]) builds its scientific-dataset contrast
+// miner on. The STUCCO search uses this index for its candidate counting.
+package bitmap
+
+import (
+	"math/bits"
+
+	"sdadcs/internal/dataset"
+)
+
+// Set is a fixed-universe bitset over row indices 0..n-1.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over a universe of n rows.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Universe returns the universe size n.
+func (s *Set) Universe() int { return s.n }
+
+// Add inserts row i.
+func (s *Set) Add(i int) {
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Contains reports whether row i is present.
+func (s *Set) Contains(i int) bool {
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |s ∩ o| without materializing the intersection — the
+// hot operation when counting a candidate's per-group supports.
+func (s *Set) AndCount(o *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// And returns a new set s ∩ o.
+func (s *Set) And(o *Set) *Set {
+	out := New(s.n)
+	for i, w := range s.words {
+		out.words[i] = w & o.words[i]
+	}
+	return out
+}
+
+// AndInto writes s ∩ o into dst (which must share the universe) and
+// returns dst; it avoids allocation in tight loops.
+func (s *Set) AndInto(o, dst *Set) *Set {
+	for i, w := range s.words {
+		dst.words[i] = w & o.words[i]
+	}
+	return dst
+}
+
+// Fill sets every bit of the universe.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := uint(s.n & 63); r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << r) - 1
+	}
+}
+
+// Rows materializes the set bits as sorted row indices.
+func (s *Set) Rows() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi<<6+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Index holds one bitmap per categorical value and per group of a dataset.
+type Index struct {
+	n int
+	// values[attr][code] is the rows where the categorical attribute has
+	// the code; nil for continuous attributes.
+	values [][]*Set
+	groups []*Set
+}
+
+// NewIndex builds the index over d's categorical attributes and groups.
+func NewIndex(d *dataset.Dataset) *Index {
+	n := d.Rows()
+	idx := &Index{n: n, values: make([][]*Set, d.NumAttrs()), groups: make([]*Set, d.NumGroups())}
+	for g := range idx.groups {
+		idx.groups[g] = New(n)
+	}
+	for r := 0; r < n; r++ {
+		idx.groups[d.Group(r)].Add(r)
+	}
+	for _, attr := range d.CategoricalAttrs() {
+		domain := d.Domain(attr)
+		sets := make([]*Set, len(domain))
+		for code := range sets {
+			sets[code] = New(n)
+		}
+		for r := 0; r < n; r++ {
+			sets[d.CatCode(attr, r)].Add(r)
+		}
+		idx.values[attr] = sets
+	}
+	return idx
+}
+
+// Rows returns the universe size.
+func (ix *Index) Rows() int { return ix.n }
+
+// Value returns the bitmap of rows where attr = code.
+func (ix *Index) Value(attr, code int) *Set { return ix.values[attr][code] }
+
+// Group returns the bitmap of rows in group g.
+func (ix *Index) Group(g int) *Set { return ix.groups[g] }
+
+// GroupCounts popcounts a cover against every group mask.
+func (ix *Index) GroupCounts(cover *Set) []int {
+	out := make([]int, len(ix.groups))
+	for g, gs := range ix.groups {
+		out[g] = cover.AndCount(gs)
+	}
+	return out
+}
+
+// All returns a full-universe set.
+func (ix *Index) All() *Set {
+	s := New(ix.n)
+	s.Fill()
+	return s
+}

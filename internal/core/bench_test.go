@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/pattern"
+)
+
+func BenchmarkJointDiscretize1D(b *testing.B) {
+	d := datagen.Figure2(1, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JointDiscretize(d, []int{0}, pattern.NewItemset(),
+			Config{Measure: pattern.SurprisingMeasure})
+	}
+}
+
+func BenchmarkJointDiscretize2D(b *testing.B) {
+	d := datagen.Simulated2(2, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JointDiscretize(d, []int{0, 1}, pattern.NewItemset(),
+			Config{Measure: pattern.SurprisingMeasure})
+	}
+}
+
+func BenchmarkMineMixed(b *testing.B) {
+	d := datagen.Adult(datagen.AdultConfig{Seed: 1, Bachelors: 2000, Doctorate: 300})
+	attrs := []int{d.AttrIndex("age"), d.AttrIndex("hours_per_week"), d.AttrIndex("occupation")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mine(d, Config{Attrs: attrs, MaxDepth: 2})
+	}
+}
+
+func BenchmarkOptimisticEstimate(b *testing.B) {
+	sup := pattern.CountsToSupports([]int{340, 120}, []int{1000, 800})
+	for i := 0; i < b.N; i++ {
+		optimisticEstimate(sup, 460, 2, OEModePaper, pattern.SupportDiff)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	d := datagen.Simulated4(3, 2000)
+	res := Mine(d, Config{SkipMeaningfulFilter: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(d, res.Contrasts, 0.05)
+	}
+}
+
+func BenchmarkPruneTableSubsetLookup(b *testing.B) {
+	table := make(pruneTable)
+	table[pattern.NewItemset(pattern.CatItem(2, 1)).Key()] = struct{}{}
+	set := pattern.NewItemset(
+		pattern.CatItem(0, 1),
+		pattern.RangeItem(1, 0, 5),
+		pattern.CatItem(2, 1),
+		pattern.RangeItem(3, 2, 8),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.hasPrunedSubset(set)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stucco"
+)
+
+func TestJointDiscretize1D(t *testing.T) {
+	d := datagen.Figure2(1, 2000)
+	boxes := JointDiscretize(d, []int{0}, pattern.NewItemset(),
+		Config{Measure: pattern.SurprisingMeasure})
+	if len(boxes) == 0 {
+		t.Fatal("no boxes")
+	}
+	// Every box constrains exactly the requested attribute.
+	for _, b := range boxes {
+		if b.Set.Len() != 1 {
+			t.Errorf("box %s has %d items, want 1", b.Set.Key(), b.Set.Len())
+		}
+		if _, ok := b.Set.ItemOn(0); !ok {
+			t.Error("box does not constrain attribute 0")
+		}
+	}
+}
+
+func TestJointDiscretize2D(t *testing.T) {
+	d := datagen.Simulated2(2, 3000)
+	boxes := JointDiscretize(d, []int{0, 1}, pattern.NewItemset(),
+		Config{Measure: pattern.SurprisingMeasure})
+	if len(boxes) == 0 {
+		t.Fatal("no boxes on XOR data")
+	}
+	for _, b := range boxes {
+		if b.Set.Len() != 2 {
+			t.Errorf("box %s should constrain both attributes", b.Set.Key())
+		}
+	}
+}
+
+func TestJointDiscretizeWithContext(t *testing.T) {
+	d := datagen.Adult(datagen.AdultConfig{Seed: 3, Bachelors: 2000, Doctorate: 300})
+	occ := d.AttrIndex("occupation")
+	profCode := -1
+	for c, v := range d.Domain(occ) {
+		if v == "Prof-specialty" {
+			profCode = c
+		}
+	}
+	ctx := pattern.NewItemset(pattern.CatItem(occ, profCode))
+	boxes := JointDiscretize(d, []int{d.AttrIndex("age")}, ctx, Config{})
+	for _, b := range boxes {
+		if _, ok := b.Set.ItemOn(occ); !ok {
+			t.Error("context item missing from box")
+		}
+	}
+}
+
+func TestJointDiscretizePanicsOnCategorical(t *testing.T) {
+	d := datagen.Adult(datagen.AdultConfig{Seed: 4, Bachelors: 200, Doctorate: 50})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for categorical attribute")
+		}
+	}()
+	JointDiscretize(d, []int{d.AttrIndex("occupation")}, pattern.NewItemset(), Config{})
+}
+
+func TestCutPoints(t *testing.T) {
+	cs := []pattern.Contrast{
+		{Set: pattern.NewItemset(pattern.RangeItem(0, math.Inf(-1), 5))},
+		{Set: pattern.NewItemset(pattern.RangeItem(0, 5, 10), pattern.RangeItem(2, 1, 2))},
+		{Set: pattern.NewItemset(pattern.CatItem(1, 0))},
+	}
+	cuts := CutPoints(cs)
+	if got := cuts[0]; len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Errorf("cuts[0] = %v, want [5 10]", got)
+	}
+	if got := cuts[2]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("cuts[2] = %v, want [1 2]", got)
+	}
+	if _, ok := cuts[1]; ok {
+		t.Error("categorical attribute should have no cuts")
+	}
+}
+
+func TestMineWithBinsPipeline(t *testing.T) {
+	d := datagen.Simulated1(5, 2000)
+	cs, binned := MineWithBins(d, []int{0, 1}, Config{}, stucco.Config{MaxDepth: 1})
+	if binned == nil {
+		t.Fatal("no binned dataset")
+	}
+	if len(cs) == 0 {
+		t.Fatal("pipeline found no contrasts on separable data")
+	}
+	if cs[0].Score < 0.8 {
+		t.Errorf("top score = %v, want high", cs[0].Score)
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	v := []float64{3, 1, 2, -5, 0}
+	sortFloats(v)
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			t.Fatalf("not sorted: %v", v)
+		}
+	}
+}

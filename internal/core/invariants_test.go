@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+)
+
+// randomDataset builds a small mixed dataset with a planted shift of
+// random strength, for miner invariant checks.
+func randomDataset(seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := 300 + rng.Intn(500)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	c := make([]string, n)
+	g := make([]string, n)
+	shift := rng.Float64() * 2
+	for i := range x {
+		g1 := rng.Intn(2) == 0
+		if g1 {
+			g[i] = "G1"
+			x[i] = rng.NormFloat64() + shift
+		} else {
+			g[i] = "G2"
+			x[i] = rng.NormFloat64()
+		}
+		y[i] = rng.NormFloat64() // noise
+		c[i] = "v" + strconv.Itoa(rng.Intn(3))
+	}
+	return dataset.NewBuilder("rand").
+		AddContinuous("x", x).
+		AddContinuous("y", y).
+		AddCategorical("c", c).
+		SetGroups(g).
+		MustBuild()
+}
+
+// Property: every contrast Mine reports is large (MaxDiff > δ), carries a
+// valid p-value below α, and its stored supports agree with a direct
+// recount over the dataset.
+func TestMineOutputInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDataset(seed)
+		cfg := Config{MaxDepth: 2, SkipMeaningfulFilter: true}
+		cfg.defaults()
+		res := Mine(d, cfg)
+		for _, c := range res.Contrasts {
+			if c.Supports.MaxDiff() <= cfg.Delta {
+				t.Logf("seed %d: contrast %s not large (%v)", seed, c.Set.Key(), c.Supports.MaxDiff())
+				return false
+			}
+			if !(c.P < cfg.Alpha) || c.P < 0 {
+				t.Logf("seed %d: contrast %s p=%v", seed, c.Set.Key(), c.P)
+				return false
+			}
+			direct := pattern.SupportsOf(c.Set, d.All())
+			for g := range direct.Count {
+				if direct.Count[g] != c.Supports.Count[g] {
+					t.Logf("seed %d: contrast %s counts %v direct %v",
+						seed, c.Set.Key(), c.Supports.Count, direct.Count)
+					return false
+				}
+			}
+			// The recorded chi-square must match a recomputation.
+			test, err := stats.ChiSquare2xK(direct.Count, direct.Size)
+			if err != nil {
+				return false
+			}
+			if diff := test.Statistic - c.ChiSq; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the meaningfulness filter only removes patterns — the filtered
+// result is a subset of the unfiltered one, in the same relative order.
+func TestMineFilterIsSubsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDataset(seed)
+		unfiltered := Mine(d, Config{MaxDepth: 2, SkipMeaningfulFilter: true})
+		filtered := Mine(d, Config{MaxDepth: 2})
+		keys := map[string]int{}
+		for i, c := range unfiltered.Contrasts {
+			keys[c.Set.Key()] = i
+		}
+		last := -1
+		for _, c := range filtered.Contrasts {
+			idx, ok := keys[c.Set.Key()]
+			if !ok || idx < last {
+				return false
+			}
+			last = idx
+		}
+		return len(filtered.Contrasts) <= len(unfiltered.Contrasts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mining twice yields identical results (full determinism).
+func TestMineDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDataset(seed)
+		a := Mine(d, Config{MaxDepth: 2})
+		b := Mine(d, Config{MaxDepth: 2})
+		if len(a.Contrasts) != len(b.Contrasts) {
+			return false
+		}
+		for i := range a.Contrasts {
+			if a.Contrasts[i].Set.Key() != b.Contrasts[i].Set.Key() ||
+				a.Contrasts[i].Score != b.Contrasts[i].Score {
+				return false
+			}
+		}
+		return a.Stats == b.Stats
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on pure-noise datasets (no planted shift), the miner with the
+// Bonferroni schedule rarely reports anything.
+func TestMineNoiseFalsePositives(t *testing.T) {
+	found := 0
+	const trials = 10
+	for seed := int64(100); seed < 100+trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 400
+		x := make([]float64, n)
+		g := make([]string, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			g[i] = []string{"A", "B"}[rng.Intn(2)]
+		}
+		d := dataset.NewBuilder("pure-noise").
+			AddContinuous("x", x).
+			SetGroups(g).
+			MustBuild()
+		res := Mine(d, Config{MaxDepth: 1})
+		found += len(res.Contrasts)
+	}
+	if found > 2 {
+		t.Errorf("%d contrasts reported across %d pure-noise datasets", found, trials)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+)
+
+// Meaningfulness classifies one contrast against the three criteria the
+// paper requires of patterns worth showing a user (§1, §4.3): a meaningful
+// contrast is non-redundant, productive, and independently productive.
+type Meaningfulness struct {
+	// Redundant: some subset has a statistically indistinguishable
+	// support difference (Eq. 14–16) — e.g. the {female, pregnant}
+	// example, where the superset adds nothing.
+	Redundant bool
+	// Unproductive: some binary partition (a, c\a) explains the contrast
+	// as a product of its parts (Eq. 17 fails, or the parts' association
+	// is not statistically confirmed).
+	Unproductive bool
+	// NotIndependentlyProductive: a superset in the final list explains
+	// the contrast — after removing the superset's rows, what remains is
+	// no longer a significant contrast (the hurricane example of §4.3).
+	NotIndependentlyProductive bool
+}
+
+// Meaningful reports whether none of the three defects applies.
+func (m Meaningfulness) Meaningful() bool {
+	return !m.Redundant && !m.Unproductive && !m.NotIndependentlyProductive
+}
+
+// Classify evaluates each contrast's meaningfulness at significance level
+// alpha. The independent-productivity check is relative to the other
+// contrasts in cs, as in the paper ("the check is performed only on
+// supersets present in the final list").
+func Classify(d *dataset.Dataset, cs []pattern.Contrast, alpha float64) []Meaningfulness {
+	memo := newSupportMemo(d)
+	out := make([]Meaningfulness, len(cs))
+	for i, c := range cs {
+		out[i].Redundant = isRedundant(c, alpha, memo)
+		out[i].Unproductive = isUnproductive(d, c, alpha, memo)
+		out[i].NotIndependentlyProductive = !isIndependentlyProductive(d, c, cs, alpha)
+	}
+	return out
+}
+
+// isRedundant applies the CLT bound of Eq. 14–16 against every
+// drop-one-item subset.
+func isRedundant(c pattern.Contrast, alpha float64, memo *supportMemo) bool {
+	if c.Set.Len() < 2 {
+		return false
+	}
+	return redundantByCLT(c.Set, c.Supports, alpha, memo.supports)
+}
+
+// isUnproductive checks Eq. 17 over every binary partition of the itemset:
+// the contrast's support difference must exceed — statistically
+// significantly, since the dataset is a sample — the support difference
+// expected if the two parts were independent within each group. This is
+// exactly the Table 3 analysis: a top pattern whose supports match the
+// product of its parts' supports is "not meaningful since the difference
+// in support is not statistically different from the expected difference".
+func isUnproductive(d *dataset.Dataset, c pattern.Contrast, alpha float64, memo *supportMemo) bool {
+	n := c.Set.Len()
+	if n < 2 {
+		return false // singletons are trivially productive
+	}
+	items := c.Set.Items()
+	// Orient the pair along the contrast itself: x is the over-represented
+	// group. (Orienting by group size instead flips the inequality's sign
+	// whenever the over-represented group is the minority — precisely the
+	// imbalanced-manufacturing case the paper targets.)
+	x, y := extremeGroups(c.Supports)
+	diffC := c.Supports.Supp(x) - c.Supports.Supp(y)
+	z := stats.ZCritical(alpha)
+
+	// Enumerate binary partitions (a, c\a); mask and its complement give
+	// the same partition, so iterate half the range.
+	for mask := 1; mask < 1<<uint(n-1); mask++ {
+		var a, rest []pattern.Item
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				a = append(a, items[i])
+			} else {
+				rest = append(rest, items[i])
+			}
+		}
+		sa := memo.supports(pattern.NewItemset(a...))
+		sr := memo.supports(pattern.NewItemset(rest...))
+		// Expected supports under within-group independence of the parts.
+		eX := sa.Supp(x) * sr.Supp(x)
+		eY := sa.Supp(y) * sr.Supp(y)
+		if diffC <= eX-eY {
+			return true // Eq. 17 fails outright
+		}
+		// Statistical confirmation (CLT on the expected supports, as in
+		// Eq. 14–16): the observed difference must clear the expected
+		// difference by more than sampling noise.
+		va := eX * (1 - eX) / float64(c.Supports.Size[x])
+		vb := eY * (1 - eY) / float64(c.Supports.Size[y])
+		if diffC <= eX-eY+z*math.Sqrt(va+vb) {
+			return true
+		}
+	}
+	return false
+}
+
+// isIndependentlyProductive checks the contrast against every superset in
+// the final list. For a superset t ⊃ c with extra items e = t \ c, the
+// rows r(c) − r(c ∧ e) must still form a contrast (§4.3's hurricane
+// example) — evaluated *conditionally*, within the universe of rows where
+// e does not hold. Conditioning matters: when two independent causes both
+// skew toward the minority group (Table 7's chip-attach module and tray
+// row), removing the other cause's rows shrinks the minority group far
+// more than the majority, and an unconditional support comparison would
+// wrongly conclude the surviving pattern carries no signal.
+func isIndependentlyProductive(d *dataset.Dataset, c pattern.Contrast,
+	all []pattern.Contrast, alpha float64) bool {
+
+	var cover dataset.View
+	haveCover := false
+	x, y := extremeGroups(c.Supports) // orientation of the original contrast
+	sizes := d.GroupSizes()
+	for _, t := range all {
+		if t.Set.Len() <= c.Set.Len() || !c.Set.SubsetOf(t.Set) {
+			continue
+		}
+		// The superset's extra conditions.
+		extra := t.Set
+		for _, attr := range c.Set.Attrs() {
+			extra = extra.Without(attr)
+		}
+		if extra.Len() == 0 {
+			continue
+		}
+		if !haveCover {
+			cover = c.Set.Cover(d.All())
+			haveCover = true
+		}
+		extraCover := extra.Cover(d.All())
+		remainder := cover.Subtract(extraCover)
+		// An empty remainder means the extra items cover everything c
+		// covers (e.g. a merged full-range artifact): no evidence either
+		// way.
+		if remainder.Len() == 0 {
+			continue
+		}
+		// Universe: rows where the extra conditions do NOT hold.
+		extraCounts := extraCover.GroupCounts()
+		remCounts := remainder.GroupCounts()
+		universe := make([]int, len(sizes))
+		for g := range sizes {
+			universe[g] = sizes[g] - extraCounts[g]
+		}
+		// If the over-represented group exists only inside the superset
+		// (hurricane: every "develops" day has all three conditions), the
+		// pattern is explained by the superset.
+		if universe[x] == 0 {
+			return false
+		}
+		// Conditional orientation: within the universe, the original
+		// over-represented group must stay over-represented…
+		rateX := float64(remCounts[x]) / float64(universe[x])
+		rateY := 0.0
+		if universe[y] > 0 {
+			rateY = float64(remCounts[y]) / float64(universe[y])
+		}
+		if rateX <= rateY {
+			return false
+		}
+		// …and significantly so.
+		test, err := stats.ChiSquare2xK(remCounts, universe)
+		if err != nil {
+			return false // no discriminating structure left
+		}
+		if test.P >= alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// CountMeaningful tallies a classification: (meaningful, meaningless).
+// It backs the paper's Table 6.
+func CountMeaningful(ms []Meaningfulness) (meaningful, meaningless int) {
+	for _, m := range ms {
+		if m.Meaningful() {
+			meaningful++
+		} else {
+			meaningless++
+		}
+	}
+	return meaningful, meaningless
+}

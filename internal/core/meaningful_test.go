@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+// femalePregnant builds the paper's canonical redundancy example: sex and
+// pregnancy, where {female, pregnant} has exactly the support of
+// {pregnant} in every group.
+func femalePregnant(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	sex := make([]string, n)
+	pregnant := make([]string, n)
+	g := make([]string, n)
+	for i := range sex {
+		female := rng.Float64() < 0.5
+		if female {
+			sex[i] = "female"
+		} else {
+			sex[i] = "male"
+		}
+		// Pregnancy implies female; its rate differs strongly by group.
+		inG1 := i%2 == 0
+		if inG1 {
+			g[i] = "G1"
+		} else {
+			g[i] = "G2"
+		}
+		p := 0.05
+		if inG1 {
+			p = 0.5
+		}
+		if female && rng.Float64() < p {
+			pregnant[i] = "yes"
+		} else {
+			pregnant[i] = "no"
+		}
+	}
+	return dataset.NewBuilder("fp").
+		AddCategorical("sex", sex).
+		AddCategorical("pregnant", pregnant).
+		SetGroups(g).
+		MustBuild()
+}
+
+func item(d *dataset.Dataset, attr, value string) pattern.Item {
+	a := d.AttrIndex(attr)
+	for code, v := range d.Domain(a) {
+		if v == value {
+			return pattern.CatItem(a, code)
+		}
+	}
+	panic("value not found: " + value)
+}
+
+func contrastOf(d *dataset.Dataset, set pattern.Itemset) pattern.Contrast {
+	sup := pattern.SupportsOf(set, d.All())
+	return pattern.Contrast{Set: set, Supports: sup, Score: sup.MaxDiff()}
+}
+
+func TestClassifyRedundantFemalePregnant(t *testing.T) {
+	d := femalePregnant(t)
+	both := contrastOf(d, pattern.NewItemset(
+		item(d, "sex", "female"), item(d, "pregnant", "yes")))
+	ms := Classify(d, []pattern.Contrast{both}, 0.05)
+	if !ms[0].Redundant {
+		t.Error("{female, pregnant} should be redundant with {pregnant}")
+	}
+}
+
+func TestClassifySingletonNotRedundant(t *testing.T) {
+	d := femalePregnant(t)
+	preg := contrastOf(d, pattern.NewItemset(item(d, "pregnant", "yes")))
+	ms := Classify(d, []pattern.Contrast{preg}, 0.05)
+	if ms[0].Redundant || ms[0].Unproductive || ms[0].NotIndependentlyProductive {
+		t.Errorf("singleton misclassified: %+v", ms[0])
+	}
+	if !ms[0].Meaningful() {
+		t.Error("singleton contrast should be meaningful")
+	}
+}
+
+func TestClassifyUnproductiveIndependentParts(t *testing.T) {
+	// Two attributes, each individually skewed toward group 1 but
+	// conditionally independent within each group: their conjunction is
+	// exactly the product of the parts — unproductive.
+	rng := rand.New(rand.NewSource(2))
+	n := 4000
+	a := make([]string, n)
+	b := make([]string, n)
+	g := make([]string, n)
+	for i := range a {
+		inG1 := i%2 == 0
+		if inG1 {
+			g[i] = "G1"
+		} else {
+			g[i] = "G2"
+		}
+		p := 0.2
+		if inG1 {
+			p = 0.6
+		}
+		if rng.Float64() < p {
+			a[i] = "t"
+		} else {
+			a[i] = "f"
+		}
+		if rng.Float64() < p {
+			b[i] = "t"
+		} else {
+			b[i] = "f"
+		}
+	}
+	d := dataset.NewBuilder("indep").
+		AddCategorical("a", a).
+		AddCategorical("b", b).
+		SetGroups(g).
+		MustBuild()
+	both := contrastOf(d, pattern.NewItemset(item(d, "a", "t"), item(d, "b", "t")))
+	ms := Classify(d, []pattern.Contrast{both}, 0.05)
+	if !ms[0].Unproductive {
+		t.Error("conjunction of independent parts should be unproductive")
+	}
+}
+
+func TestClassifyProductiveInteraction(t *testing.T) {
+	// XOR quadrants: the joint contrast is far beyond the product of its
+	// (uninformative) parts — clearly productive.
+	d := datagen.Simulated2(3, 3000)
+	res := Mine(d, Config{Measure: pattern.SurprisingMeasure, SkipMeaningfulFilter: true})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("no contrasts")
+	}
+	ms := Classify(d, res.Contrasts, 0.05)
+	productive := 0
+	for i := range ms {
+		if !ms[i].Unproductive {
+			productive++
+		}
+	}
+	if productive == 0 {
+		t.Error("XOR quadrant contrasts should be productive")
+	}
+}
+
+func TestClassifyIndependentProductivityHurricane(t *testing.T) {
+	// The hurricane example of §4.3: three conditions are individually
+	// associated with the group only through their conjunction. The
+	// 1- and 2-item patterns should not be independently productive once
+	// the 3-item pattern is in the list.
+	rng := rand.New(rand.NewSource(4))
+	n := 6000
+	temp := make([]string, n)
+	depth := make([]string, n)
+	shear := make([]string, n)
+	g := make([]string, n)
+	for i := range g {
+		// Conditions occur independently.
+		t1 := rng.Float64() < 0.5
+		t2 := rng.Float64() < 0.5
+		t3 := rng.Float64() < 0.5
+		set := func(s []string, b bool) {
+			if b {
+				s[i] = "yes"
+			} else {
+				s[i] = "no"
+			}
+		}
+		set(temp, t1)
+		set(depth, t2)
+		set(shear, t3)
+		// Hurricane develops (mostly) when all three hold.
+		if t1 && t2 && t3 && rng.Float64() < 0.9 {
+			g[i] = "develops"
+		} else {
+			g[i] = "not"
+		}
+	}
+	d := dataset.NewBuilder("hurricane").
+		AddCategorical("temp", temp).
+		AddCategorical("depth", depth).
+		AddCategorical("shear", shear).
+		SetGroups(g).
+		MustBuild()
+
+	all := pattern.NewItemset(item(d, "temp", "yes"), item(d, "depth", "yes"), item(d, "shear", "yes"))
+	single := pattern.NewItemset(item(d, "temp", "yes"))
+	list := []pattern.Contrast{contrastOf(d, all), contrastOf(d, single)}
+	ms := Classify(d, list, 0.05)
+	if ms[0].NotIndependentlyProductive {
+		t.Error("the full 3-condition pattern should be independently productive")
+	}
+	if !ms[1].NotIndependentlyProductive {
+		t.Error("{temp} should not be independently productive: removing the " +
+			"3-condition rows leaves no contrast")
+	}
+}
+
+func TestClassifyNoSupersetTriviallyIndependent(t *testing.T) {
+	d := femalePregnant(t)
+	preg := contrastOf(d, pattern.NewItemset(item(d, "pregnant", "yes")))
+	sex := contrastOf(d, pattern.NewItemset(item(d, "sex", "female")))
+	ms := Classify(d, []pattern.Contrast{preg, sex}, 0.05)
+	for i := range ms {
+		if ms[i].NotIndependentlyProductive {
+			t.Errorf("pattern %d has no supersets in the list; must be independently productive", i)
+		}
+	}
+}
+
+func TestCountMeaningful(t *testing.T) {
+	ms := []Meaningfulness{
+		{},
+		{Redundant: true},
+		{Unproductive: true},
+		{NotIndependentlyProductive: true},
+	}
+	good, bad := CountMeaningful(ms)
+	if good != 1 || bad != 3 {
+		t.Errorf("CountMeaningful = %d, %d", good, bad)
+	}
+}

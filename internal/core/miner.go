@@ -1,0 +1,311 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+	"sdadcs/internal/topk"
+)
+
+// Mine runs the full contrast pattern search of the paper over a mixed
+// dataset: a levelwise enumeration of attribute combinations (Figure 1),
+// with categorical-only combinations handled STUCCO-style and any
+// combination containing continuous attributes handed to SDAD-CS
+// (Algorithm 1). Results are the top-k contrasts under cfg.Measure, after
+// the meaningfulness filter unless disabled.
+func Mine(d *dataset.Dataset, cfg Config) Result {
+	res, _ := MineContext(context.Background(), d, cfg)
+	return res
+}
+
+// MineContext is Mine with cancellation: the search checks the context
+// between levels (and between node batches when mining in parallel) and
+// returns the contrasts found so far together with ctx.Err() when
+// cancelled. A partial result is still sorted and, unless disabled,
+// filtered.
+func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, error) {
+	cfg.defaults()
+	m := &miner{
+		d:     d,
+		cfg:   &cfg,
+		prune: cfg.pruning(),
+		sizes: d.GroupSizes(),
+		list:  topk.New(cfg.TopK, cfg.scoreFloor()),
+		table: make(pruneTable),
+		memo:  newSupportMemo(d),
+	}
+	attrs := cfg.Attrs
+	if attrs == nil {
+		attrs = make([]int, d.NumAttrs())
+		for i := range attrs {
+			attrs[i] = i
+		}
+	}
+	schedule := stats.NewBonferroniSchedule(cfg.Alpha)
+
+	frontier := m.levelOne(attrs)
+	var interrupted error
+	if cfg.DFS {
+		// Depth-first ablation: the per-level candidate count is unknown
+		// up front, so the Bonferroni adjustment can only use the level-1
+		// width — one of the paper's arguments for levelwise search.
+		alpha := schedule.LevelAlpha(len(frontier))
+		m.mineDFS(frontier, attrs, 1, alpha)
+	} else {
+		for level := 1; level <= cfg.MaxDepth && len(frontier) > 0; level++ {
+			if err := ctx.Err(); err != nil {
+				interrupted = err
+				break
+			}
+			alpha := schedule.LevelAlpha(len(frontier))
+			survivors := m.processLevel(frontier, alpha)
+			if level == cfg.MaxDepth {
+				break
+			}
+			frontier = m.expand(survivors, attrs)
+		}
+	}
+
+	contrasts := m.list.Contrasts()
+	res := Result{Stats: m.stats}
+	if cfg.SkipMeaningfulFilter {
+		res.Contrasts = contrasts
+		return res, interrupted
+	}
+	meaning := Classify(d, contrasts, cfg.Alpha)
+	for i, c := range contrasts {
+		if meaning[i].Meaningful() {
+			res.Contrasts = append(res.Contrasts, c)
+			res.Meaning = append(res.Meaning, meaning[i])
+		} else {
+			res.Stats.FilteredOut++
+		}
+	}
+	return res, interrupted
+}
+
+// miner holds the shared state of one Mine call.
+type miner struct {
+	d     *dataset.Dataset
+	cfg   *Config
+	prune Pruning
+	sizes []int
+	list  *topk.List
+	table pruneTable
+	memo  *supportMemo
+	stats Stats
+}
+
+// node is one entry of the combination frontier: a categorical value
+// context, the rows it covers, and the continuous attributes to be
+// discretized jointly. catSet.Len() + len(contAttrs) equals the level.
+type node struct {
+	catSet    pattern.Itemset
+	catCover  dataset.View
+	contAttrs []int
+	lastAttr  int
+}
+
+// nodeOutcome is the result of evaluating one node.
+type nodeOutcome struct {
+	contrasts []pattern.Contrast
+	inserts   []string
+	survived  bool
+	stats     Stats
+}
+
+// levelOne builds the initial frontier: one node per categorical value and
+// one per continuous attribute.
+func (m *miner) levelOne(attrs []int) []node {
+	var out []node
+	for _, attr := range attrs {
+		if m.d.Attr(attr).Kind == dataset.Categorical {
+			for code := range m.d.Domain(attr) {
+				item := pattern.CatItem(attr, code)
+				out = append(out, node{
+					catSet:   pattern.NewItemset(item),
+					catCover: m.d.All().FilterCat(attr, code),
+					lastAttr: attr,
+				})
+			}
+		} else {
+			out = append(out, node{
+				catSet:    pattern.NewItemset(),
+				catCover:  m.d.All(),
+				contAttrs: []int{attr},
+				lastAttr:  attr,
+			})
+		}
+	}
+	return out
+}
+
+// expand generates the next level: every surviving node extended with
+// every attribute after its last (each combination visited exactly once).
+func (m *miner) expand(nodes []node, attrs []int) []node {
+	var out []node
+	for _, nd := range nodes {
+		for _, attr := range attrs {
+			if attr <= nd.lastAttr {
+				continue
+			}
+			if m.d.Attr(attr).Kind == dataset.Categorical {
+				for code := range m.d.Domain(attr) {
+					item := pattern.CatItem(attr, code)
+					cover := nd.catCover.FilterCat(attr, code)
+					if cover.Len() == 0 {
+						continue
+					}
+					out = append(out, node{
+						catSet:    nd.catSet.With(item),
+						catCover:  cover,
+						contAttrs: nd.contAttrs,
+						lastAttr:  attr,
+					})
+				}
+			} else {
+				conts := make([]int, len(nd.contAttrs), len(nd.contAttrs)+1)
+				copy(conts, nd.contAttrs)
+				conts = append(conts, attr)
+				out = append(out, node{
+					catSet:    nd.catSet,
+					catCover:  nd.catCover,
+					contAttrs: conts,
+					lastAttr:  attr,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// processLevel evaluates all nodes of one level — in parallel when
+// cfg.Workers > 1 (the §6 scaling strategy) — then applies the buffered
+// lookup-table inserts and top-k additions in node order, so results are
+// identical for any worker count.
+func (m *miner) processLevel(frontier []node, alpha float64) []node {
+	threshold := m.list.Threshold()
+	outcomes := make([]nodeOutcome, len(frontier))
+
+	if m.cfg.Workers <= 1 {
+		for i := range frontier {
+			outcomes[i] = m.evaluate(frontier[i], alpha, threshold)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < m.cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					outcomes[i] = m.evaluate(frontier[i], alpha, threshold)
+				}
+			}()
+		}
+		for i := range frontier {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	var survivors []node
+	for i, o := range outcomes {
+		m.stats.add(o.stats)
+		for _, c := range o.contrasts {
+			m.list.Add(c)
+		}
+		for _, key := range o.inserts {
+			m.table[key] = struct{}{}
+		}
+		if o.survived {
+			survivors = append(survivors, frontier[i])
+		}
+	}
+	return survivors
+}
+
+// mineDFS explores nodes pre-order: each node is evaluated and its
+// children fully explored before its siblings. Lookup-table inserts and
+// top-k additions apply immediately.
+func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
+	for _, nd := range nodes {
+		o := m.evaluate(nd, alpha, m.list.Threshold())
+		m.stats.add(o.stats)
+		for _, c := range o.contrasts {
+			m.list.Add(c)
+		}
+		for _, key := range o.inserts {
+			m.table[key] = struct{}{}
+		}
+		if o.survived && level < m.cfg.MaxDepth {
+			m.mineDFS(m.expand([]node{nd}, attrs), attrs, level+1, alpha)
+		}
+	}
+}
+
+// evaluate processes one node: a pure categorical itemset directly, a
+// mixed/continuous combination via SDAD-CS. It must not touch shared
+// mutable state (it runs concurrently); memo access is the one exception,
+// guarded inside concurrentMemo.
+func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
+	if len(nd.contAttrs) == 0 {
+		return m.evaluateCategorical(nd, alpha)
+	}
+	run := &sdadRun{
+		d:         m.d,
+		cfg:       m.cfg,
+		prune:     m.prune,
+		contAttrs: nd.contAttrs,
+		alpha:     alpha,
+		threshold: threshold,
+		memo:      m.memo,
+		table:     m.table,
+		sizes:     m.sizes,
+		totalRows: m.d.Rows(),
+	}
+	contrasts := run.run(nd.catSet, nd.catCover)
+	return nodeOutcome{
+		contrasts: contrasts,
+		inserts:   run.inserts,
+		survived:  run.alive,
+		stats:     run.stats,
+	}
+}
+
+// evaluateCategorical handles a categorical-only node (STUCCO semantics).
+func (m *miner) evaluateCategorical(nd node, alpha float64) nodeOutcome {
+	var o nodeOutcome
+	if m.prune.LookupTable && m.table.hasPrunedSubset(nd.catSet) {
+		o.stats.SpacesPruned++
+		return o
+	}
+	o.stats.PartitionsEvaluated++
+	sup := pattern.CountsToSupports(nd.catCover.GroupCounts(), m.sizes)
+	dec := evaluatePruning(m.prune, nd.catSet, sup, m.cfg.Delta, alpha,
+		m.d.Rows(), m.memo.supports)
+	if dec.record && m.prune.LookupTable {
+		o.inserts = append(o.inserts, nd.catSet.Key())
+	}
+	if dec.skipContrast && dec.skipChildren {
+		o.stats.SpacesPruned++
+		return o
+	}
+	o.survived = !dec.skipChildren
+	if !dec.skipContrast && sup.MaxDiff() > m.cfg.Delta {
+		if test, err := stats.ChiSquare2xK(sup.Count, m.sizes); err == nil && test.P < alpha {
+			o.contrasts = append(o.contrasts, pattern.Contrast{
+				Set:      nd.catSet,
+				Supports: sup,
+				Score:    m.cfg.Measure.Eval(sup),
+				ChiSq:    test.Statistic,
+				P:        test.P,
+			})
+		}
+	}
+	return o
+}

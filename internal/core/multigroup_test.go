@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+// threeGroups builds a dataset with three groups: low, mid and high, each
+// concentrated in its own band of a continuous attribute (with noise), as
+// in the paper's "set of groups G = {g1 ... gk}" formulation — STUCCO-style
+// mining is defined for k groups, not just two.
+func threeGroups(seed int64, n int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	c := make([]string, n)
+	g := make([]string, n)
+	for i := range x {
+		switch i % 3 {
+		case 0:
+			g[i] = "low"
+			x[i] = rng.Float64() * 0.4
+		case 1:
+			g[i] = "mid"
+			x[i] = 0.3 + rng.Float64()*0.4
+		default:
+			g[i] = "high"
+			x[i] = 0.6 + rng.Float64()*0.4
+		}
+		c[i] = []string{"a", "b"}[rng.Intn(2)]
+	}
+	return dataset.NewBuilder("three").
+		AddContinuous("x", x).
+		AddCategorical("c", c).
+		SetGroups(g).
+		MustBuild()
+}
+
+func TestMineThreeGroups(t *testing.T) {
+	d := threeGroups(1, 3000)
+	if d.NumGroups() != 3 {
+		t.Fatal("setup: want 3 groups")
+	}
+	res := Mine(d, Config{Measure: pattern.SupportDiff, MaxDepth: 1})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("no contrasts on 3-group data")
+	}
+	// The top contrast should be a band of x strongly separating one
+	// group from another.
+	top := res.Contrasts[0]
+	if top.Score < 0.5 {
+		t.Errorf("top score = %v, want strong separation", top.Score)
+	}
+	if _, ok := top.Set.ItemOn(0); !ok {
+		t.Errorf("top contrast should use x: %s", top.Set.Format(d))
+	}
+	// Supports carry all three groups.
+	if top.Supports.Groups() != 3 {
+		t.Errorf("supports carry %d groups", top.Supports.Groups())
+	}
+}
+
+func TestThreeGroupMeasures(t *testing.T) {
+	// MaxDiff/PR/Surprising are defined over the extreme pair for k
+	// groups.
+	sup := pattern.CountsToSupports([]int{80, 40, 10}, []int{100, 100, 100})
+	if got := sup.MaxDiff(); got < 0.7-1e-12 || got > 0.7+1e-12 {
+		t.Errorf("MaxDiff = %v, want 0.7", got)
+	}
+	if got, want := sup.PR(), 1-0.1/0.8; got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("PR = %v, want %v", got, want)
+	}
+}
+
+func TestThreeGroupOptimisticEstimate(t *testing.T) {
+	sup := pattern.CountsToSupports([]int{50, 30, 5}, []int{100, 100, 100})
+	oe := optimisticEstimate(sup, 85, 1, OEModeConservative, pattern.SupportDiff)
+	// The bound must dominate the current difference.
+	if oe < sup.MaxDiff()-0.5 { // child bound can be below parent diff
+		t.Logf("oe = %v, diff = %v", oe, sup.MaxDiff())
+	}
+	if oe <= 0 || oe > 1 {
+		t.Errorf("oe = %v out of range", oe)
+	}
+}
+
+func TestThreeGroupHoldout(t *testing.T) {
+	d := threeGroups(2, 3000)
+	train, test := d.All().StratifiedSplit(0.6, 5)
+	if train.Len()+test.Len() != d.Rows() {
+		t.Fatal("split broken for 3 groups")
+	}
+	res := Mine(d, Config{Attrs: []int{0}, MaxDepth: 1})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("nothing mined")
+	}
+	vs := ValidateHoldout(test, res.Contrasts, 0.1, 0.05)
+	if rate := ReplicationRate(vs); rate < 0.9 {
+		t.Errorf("3-group replication rate = %v", rate)
+	}
+}
+
+func TestThreeGroupClassify(t *testing.T) {
+	d := threeGroups(3, 2000)
+	res := Mine(d, Config{SkipMeaningfulFilter: true, MaxDepth: 2})
+	ms := Classify(d, res.Contrasts, 0.05)
+	if len(ms) != len(res.Contrasts) {
+		t.Fatal("classification length mismatch")
+	}
+}

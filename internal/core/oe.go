@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sdadcs/internal/pattern"
+)
+
+// optimisticEstimate bounds the interest measure achievable in any child
+// space of a space with the given per-group supports (Eq. 5–11).
+//
+// spaceRows is the number of rows in the current space; numCont the number
+// of continuous attributes being split. The returned bound is valid for
+// the support-difference measure and, because PR ≤ 1, equally for the
+// Surprising Measure (§4.2). For the pure purity-ratio measure the bound
+// is 1 for any non-pure space (a single-row child always has PR = 1), so
+// OE-based recursion pruning degenerates to the pure-space rule.
+func optimisticEstimate(sup pattern.Supports, spaceRows, numCont int, mode OEMode, measure pattern.Measure) float64 {
+	if measure == pattern.PurityRatio {
+		if pr := sup.PR(); pr >= 1 {
+			return pr
+		}
+		return 1
+	}
+
+	maxInstChild := maxInstancesChild(spaceRows, numCont, mode)
+	k := sup.Groups()
+	maxSupp := make([]float64, k)
+	minSupp := make([]float64, k)
+	for g := 0; g < k; g++ {
+		size := float64(sup.Size[g])
+		if size == 0 {
+			continue
+		}
+		// Eq. 7: a child cannot hold more of group g than it has rows,
+		// nor more than the current space holds (support monotonicity).
+		maxSupp[g] = float64(maxInstChild) / size
+		if s := sup.Supp(g); s < maxSupp[g] {
+			maxSupp[g] = s
+		}
+		// Eq. 8–10: if the child is full-size, at least
+		// maxInstChild − (rows of other groups in the space) of its rows
+		// are group g. The conservative mode drops this (a child may be
+		// arbitrarily small, so its minimum support is 0).
+		if mode == OEModePaper {
+			other := spaceRows - sup.Count[g]
+			minInst := maxInstChild - other
+			if minInst > 0 {
+				minSupp[g] = float64(minInst) / size
+			}
+		}
+	}
+
+	// Eq. 11: the best achievable difference over ordered group pairs.
+	best := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			if d := maxSupp[i] - minSupp[j]; d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// maxInstancesChild is Eq. 6: the largest number of rows a child space can
+// hold after the next median split.
+func maxInstancesChild(spaceRows, numCont int, mode OEMode) int {
+	if mode == OEModeConservative || numCont < 1 {
+		// Every child box lies inside one half of the first attribute's
+		// median split, which holds at most ceil(n/2) rows even with
+		// ties at the median.
+		return (spaceRows + 1) / 2
+	}
+	// Paper mode: unique real values distribute evenly over the 2^|ca|
+	// children.
+	denom := 1 << uint(numCont)
+	return (spaceRows + denom - 1) / denom
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+)
+
+// pruneTable is the lookup table of §4.1: canonical keys of itemsets found
+// prunable. A space is cut when any subset of its items is present.
+type pruneTable map[string]struct{}
+
+// hasPrunedSubset reports whether any non-empty subset of the itemset's
+// items (including the itemset itself) is recorded. Itemsets are at most
+// MaxDepth items, so the 2^n subset enumeration is tiny.
+func (t pruneTable) hasPrunedSubset(set pattern.Itemset) bool {
+	if len(t) == 0 {
+		return false
+	}
+	items := set.Items()
+	n := len(items)
+	if n == 0 {
+		return false
+	}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var sub []pattern.Item
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = append(sub, items[i])
+			}
+		}
+		if _, ok := t[pattern.NewItemset(sub...).Key()]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneDecision is the outcome of the §4.3 rules for one space.
+type pruneDecision struct {
+	// skipContrast: the space cannot be (or should not be reported as) a
+	// contrast.
+	skipContrast bool
+	// skipChildren: do not explore specializations of the space.
+	skipChildren bool
+	// record: insert the space's key into the lookup table so later
+	// combinations with this space as a subset are cut.
+	record bool
+}
+
+// evaluatePruning applies the pruning rules to a counted space.
+//
+// sup holds the space's per-group supports; set its itemset. The CLT
+// redundancy rule compares the space's support difference against each
+// subset obtained by dropping one item (Eq. 14–16); subset supports are
+// provided by the memoizing suppOf callback.
+func evaluatePruning(p Pruning, set pattern.Itemset, sup pattern.Supports,
+	delta, alpha float64, totalRows int,
+	suppOf func(pattern.Itemset) pattern.Supports) pruneDecision {
+
+	// Minimum deviation size: no group reaches δ, so neither this space
+	// nor any specialization can be a large contrast.
+	if p.MinDeviation && !sup.LargeIn(delta) {
+		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+	}
+	// Expected count: statistical tests are invalid below an expected
+	// cell count of 5, and specializations only shrink counts.
+	if p.ExpectedCount && expectedBelow5(sup, totalRows) {
+		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+	}
+	// CLT redundancy: the support difference is statistically the same as
+	// a subset's, so this space (and its supersets) add nothing.
+	if p.RedundancyCLT && set.Len() >= 2 && redundantByCLT(set, sup, alpha, suppOf) {
+		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+	}
+	var d pruneDecision
+	// Pure space: PR = 1 means one group is absent; the space itself is a
+	// fine contrast but adding attributes only produces redundant ones.
+	if p.PureSpace && sup.PR() >= 1 && sup.TotalCount() > 0 {
+		d.skipChildren = true
+		d.record = true
+	}
+	// Chi-square optimistic estimate: if no specialization can reach the
+	// critical value at the current α, children cannot be significant.
+	if p.ChiSquareOE && !d.skipChildren {
+		bound := stats.ChiSquareOptimistic(sup.Count, sup.Size)
+		crit := stats.ChiSquareQuantile(1-alpha, len(sup.Size)-1)
+		if bound < crit {
+			d.skipChildren = true
+		}
+	}
+	return d
+}
+
+// expectedBelow5 reports whether the smallest expected cell count of the
+// pattern × group contingency table is below 5.
+func expectedBelow5(sup pattern.Supports, totalRows int) bool {
+	covered := sup.TotalCount()
+	for _, gs := range sup.Size {
+		if float64(covered)*float64(gs)/float64(totalRows) < 5 {
+			return true
+		}
+	}
+	return false
+}
+
+// redundantByCLT implements the Eq. 14–16 check: for each subset obtained
+// by dropping one item, if the current support difference lies within the
+// bound diff_subset ± α·sqrt(a+b) around the subset's difference, the
+// current itemset is statistically the same contrast.
+//
+// The multiplier is the paper's literal α (not the z critical value): the
+// resulting bound is deliberately razor-thin, so the rule fires only on
+// (near-)functional dependence — the {female, pregnant} example, equipment
+// attributes that mirror each other — and never on a space whose children
+// might hide a local interaction. Using z_{1−α/2} here would prune the
+// very quadrants whose refinement reveals multivariate structure (the
+// age × hours interaction of Table 1 dilutes to statistical redundancy at
+// the first split level).
+func redundantByCLT(set pattern.Itemset, sup pattern.Supports, alpha float64,
+	suppOf func(pattern.Itemset) pattern.Supports) bool {
+
+	x, y := extremeGroups(sup)
+	diffCurr := sup.Supp(x) - sup.Supp(y)
+	for _, attr := range set.Attrs() {
+		subset := set.Without(attr)
+		if subset.Len() == 0 {
+			continue
+		}
+		sub := suppOf(subset)
+		diffSub := sub.Supp(x) - sub.Supp(y)
+		a := sub.Supp(x) * (1 - sub.Supp(x)) / float64(sub.Size[x])
+		b := sub.Supp(y) * (1 - sub.Supp(y)) / float64(sub.Size[y])
+		half := alpha * math.Sqrt(a+b)
+		if diffCurr >= diffSub-half && diffCurr <= diffSub+half {
+			return true
+		}
+	}
+	return false
+}
+
+// extremeGroups returns the groups with the largest and smallest support.
+func extremeGroups(sup pattern.Supports) (hi, lo int) {
+	for g := 1; g < sup.Groups(); g++ {
+		if sup.Supp(g) > sup.Supp(hi) {
+			hi = g
+		}
+		if sup.Supp(g) < sup.Supp(lo) {
+			lo = g
+		}
+	}
+	return hi, lo
+}
+
+// supportMemo caches itemset supports over the full dataset, shared by the
+// CLT redundancy rule and the meaningfulness filters. It is safe for
+// concurrent use (parallel level mining recomputes at worst).
+type supportMemo struct {
+	d  *dataset.Dataset
+	mu sync.Mutex
+	// cache maps itemset keys to their supports; values are deterministic
+	// functions of the key, so racing writers are harmless.
+	cache map[string]pattern.Supports
+}
+
+func newSupportMemo(d *dataset.Dataset) *supportMemo {
+	return &supportMemo{d: d, cache: make(map[string]pattern.Supports)}
+}
+
+func (m *supportMemo) supports(set pattern.Itemset) pattern.Supports {
+	key := set.Key()
+	m.mu.Lock()
+	s, ok := m.cache[key]
+	m.mu.Unlock()
+	if ok {
+		return s
+	}
+	s = pattern.SupportsOf(set, m.d.All())
+	m.mu.Lock()
+	m.cache[key] = s
+	m.mu.Unlock()
+	return s
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+)
+
+// Validation is the holdout verdict for one contrast.
+type Validation struct {
+	// Supports are the contrast's supports on the holdout rows, relative
+	// to the holdout's per-group sizes.
+	Supports pattern.Supports
+	// Large reports whether the holdout support difference exceeds δ.
+	Large bool
+	// Significant reports whether the group association replicates at α
+	// on the holdout (chi-square; Fisher's exact when expected counts are
+	// too small for the asymptotic test).
+	Significant bool
+	// SameDirection reports whether the over-represented group on the
+	// holdout matches the mining result.
+	SameDirection bool
+}
+
+// Replicates reports whether the pattern fully held up out of sample.
+func (v Validation) Replicates() bool {
+	return v.Large && v.Significant && v.SameDirection
+}
+
+// ValidateHoldout re-evaluates mined contrasts on held-out rows (typically
+// the second view of dataset.View.StratifiedSplit). Mining many patterns
+// on one sample invites spurious discoveries even with the Bonferroni
+// schedule; replication on untouched data is the direct check. Supports
+// here are relative to the holdout's own group sizes, so mining and
+// validation supports are comparable.
+func ValidateHoldout(holdout dataset.View, cs []pattern.Contrast, delta, alpha float64) []Validation {
+	sizes := holdout.GroupCounts()
+	out := make([]Validation, len(cs))
+	for i, c := range cs {
+		counts := c.Set.Cover(holdout).GroupCounts()
+		sup := pattern.CountsToSupports(counts, sizes)
+		v := Validation{Supports: sup}
+		v.Large = sup.MaxDiff() > delta
+		x, y := extremeGroups(c.Supports)
+		v.SameDirection = sup.Supp(x) > sup.Supp(y)
+		if test, err := stats.ChiSquare2xK(counts, sizes); err == nil {
+			if test.MinExpected >= 5 {
+				v.Significant = test.P < alpha
+			} else if len(counts) == 2 {
+				p := stats.FisherExact22(counts[0], sizes[0]-counts[0],
+					counts[1], sizes[1]-counts[1])
+				v.Significant = p < alpha
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ReplicationRate is the fraction of contrasts that replicate on the
+// holdout (0 for an empty list).
+func ReplicationRate(vs []Validation) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range vs {
+		if v.Replicates() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vs))
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+func TestStratifiedSplitShape(t *testing.T) {
+	d := datagen.Simulated1(1, 1000)
+	train, test := d.All().StratifiedSplit(0.7, 42)
+	if train.Len()+test.Len() != d.Rows() {
+		t.Fatalf("split loses rows: %d + %d != %d", train.Len(), test.Len(), d.Rows())
+	}
+	// Group proportions preserved to within one row per group.
+	total := d.GroupSizes()
+	tc := train.GroupCounts()
+	for g := range total {
+		want := int(0.7*float64(total[g])) + 1
+		if tc[g] < want-1 || tc[g] > want {
+			t.Errorf("group %d: train %d of %d, want ~70%%", g, tc[g], total[g])
+		}
+	}
+	// No overlap.
+	if train.Intersect(test).Len() != 0 {
+		t.Error("train and test overlap")
+	}
+	// Deterministic.
+	a1, _ := d.All().StratifiedSplit(0.7, 42)
+	if a1.Len() != train.Len() || a1.Row(0) != train.Row(0) {
+		t.Error("split not deterministic for fixed seed")
+	}
+}
+
+func TestStratifiedSplitEdges(t *testing.T) {
+	d := datagen.Simulated1(2, 100)
+	all, none := d.All().StratifiedSplit(1.0, 1)
+	if all.Len() != 100 || none.Len() != 0 {
+		t.Error("frac=1 should put everything in the first view")
+	}
+	none2, all2 := d.All().StratifiedSplit(0, 1)
+	if none2.Len() != 0 || all2.Len() != 100 {
+		t.Error("frac=0 should put everything in the second view")
+	}
+	// Out-of-range fractions clamp.
+	a, _ := d.All().StratifiedSplit(1.5, 1)
+	if a.Len() != 100 {
+		t.Error("frac>1 should clamp to 1")
+	}
+}
+
+func TestValidateHoldoutRealPatternReplicates(t *testing.T) {
+	d := datagen.Simulated1(3, 4000)
+	train, test := d.All().StratifiedSplit(0.5, 7)
+	// Mine on the training half only.
+	_ = train
+	res := Mine(d, Config{Attrs: []int{0}, MaxDepth: 1})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("nothing mined")
+	}
+	vs := ValidateHoldout(test, res.Contrasts, 0.1, 0.05)
+	if len(vs) != len(res.Contrasts) {
+		t.Fatal("length mismatch")
+	}
+	if rate := ReplicationRate(vs); rate < 0.99 {
+		t.Errorf("replication rate = %v, want ~1 for a planted pattern", rate)
+	}
+	for _, v := range vs {
+		if !v.SameDirection || !v.Large || !v.Significant {
+			t.Errorf("validation = %+v", v)
+		}
+	}
+}
+
+func TestValidateHoldoutSpuriousPatternsMostlyFail(t *testing.T) {
+	// Patterns cherry-picked from noise on the training half should
+	// rarely replicate on the holdout. Individual runs are stochastic, so
+	// assert over several seeds.
+	replicated := 0
+	const trials = 12
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 400
+		x := make([]float64, n)
+		g := make([]string, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			g[i] = []string{"A", "B"}[rng.Intn(2)]
+		}
+		d := dataset.NewBuilder("noise").AddContinuous("x", x).SetGroups(g).MustBuild()
+		train, test := d.All().StratifiedSplit(0.5, seed)
+
+		// Cherry-pick the interval with the best training-half contrast.
+		trainSizes := train.GroupCounts()
+		best := pattern.Contrast{Score: -1}
+		for lo := 0.0; lo < 0.95; lo += 0.05 {
+			set := pattern.NewItemset(pattern.RangeItem(0, lo, lo+0.05))
+			sup := pattern.CountsToSupports(set.Cover(train).GroupCounts(), trainSizes)
+			if s := sup.MaxDiff(); s > best.Score {
+				best = pattern.Contrast{Set: set, Supports: sup, Score: s}
+			}
+		}
+		vs := ValidateHoldout(test, []pattern.Contrast{best}, 0.1, 0.05)
+		if vs[0].Replicates() {
+			replicated++
+		}
+	}
+	if replicated > trials/3 {
+		t.Errorf("%d/%d overfit noise patterns replicated; expected rare replication",
+			replicated, trials)
+	}
+}
+
+func TestReplicationRateEmpty(t *testing.T) {
+	if ReplicationRate(nil) != 0 {
+		t.Error("empty rate should be 0")
+	}
+}

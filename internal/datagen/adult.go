@@ -1,0 +1,218 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"sdadcs/internal/dataset"
+)
+
+// AdultConfig sizes the Adult-like census generator. The defaults follow
+// Table 2: 8025 Bachelors and 594 Doctorate rows, 13 attributes of which 5
+// are continuous.
+type AdultConfig struct {
+	Seed      int64
+	Bachelors int
+	Doctorate int
+}
+
+func (c *AdultConfig) defaults() {
+	if c.Bachelors <= 0 {
+		c.Bachelors = 8025
+	}
+	if c.Doctorate <= 0 {
+		c.Doctorate = 594
+	}
+}
+
+// Adult generates a census-like mixed dataset contrasting the Doctorate
+// and Bachelors groups, with the structure the paper's Adult analysis
+// surfaces:
+//
+//   - age: Bachelors include a young (19–26) segment absent among
+//     Doctorates; Doctorates skew old (≈48% above 47).
+//   - hours-per-week: Bachelors mostly ≤40; Doctorates overrepresented in
+//     50–99.
+//   - a multivariate age×hours interaction: Doctorates aged 49–69 work
+//     long hours disproportionately often (Table 1's contrast 5).
+//   - occupation: Prof-specialty at 0.76 (Doc) vs 0.28 (Bach) — the seed of
+//     Table 3's redundant/unproductive top patterns.
+//   - sex, class: moderately informative, independent of occupation within
+//     each group, so Table 3's expected-support analysis holds.
+//   - fnlwgt: uninformative; its full range is functionally dependent on
+//     any other item (Table 3's redundancy example).
+func Adult(cfg AdultConfig) *dataset.Dataset {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Bachelors + cfg.Doctorate
+
+	age := make([]float64, 0, n)
+	fnlwgt := make([]float64, 0, n)
+	hours := make([]float64, 0, n)
+	capGain := make([]float64, 0, n)
+	eduNum := make([]float64, 0, n)
+	occupation := make([]string, 0, n)
+	sex := make([]string, 0, n)
+	class := make([]string, 0, n)
+	workclass := make([]string, 0, n)
+	marital := make([]string, 0, n)
+	race := make([]string, 0, n)
+	relationship := make([]string, 0, n)
+	country := make([]string, 0, n)
+	groups := make([]string, 0, n)
+
+	emit := func(group string) {
+		doc := group == "Doctorate"
+		a := adultAge(rng, doc)
+		age = append(age, a)
+		hours = append(hours, adultHours(rng, doc, a))
+		fnlwgt = append(fnlwgt, 19302+rng.Float64()*(606111-19302))
+		if doc {
+			capGain = append(capGain, pick(rng, 0.25, rng.Float64()*15000, 0))
+			eduNum = append(eduNum, 14.5+rng.NormFloat64()*1.2)
+		} else {
+			capGain = append(capGain, pick(rng, 0.12, rng.Float64()*8000, 0))
+			eduNum = append(eduNum, 12.8+rng.NormFloat64()*1.2)
+		}
+		occupation = append(occupation, adultOccupation(rng, doc))
+		sex = append(sex, choose(rng, boolToP(doc, 0.81, 0.69), "Male", "Female"))
+		class = append(class, choose(rng, boolToP(doc, 0.73, 0.41), ">50K", "<=50K"))
+		workclass = append(workclass, adultWorkclass(rng, doc))
+		marital = append(marital, choose(rng, 0.55, "Married", "Single"))
+		race = append(race, weighted(rng, []string{"White", "Black", "Asian", "Other"},
+			[]float64{0.8, 0.1, 0.07, 0.03}))
+		relationship = append(relationship, weighted(rng,
+			[]string{"Husband", "Not-in-family", "Own-child", "Wife"},
+			[]float64{0.45, 0.3, 0.1, 0.15}))
+		country = append(country, choose(rng, 0.9, "United-States", "Other"))
+		groups = append(groups, group)
+	}
+	for i := 0; i < cfg.Bachelors; i++ {
+		emit("Bachelors")
+	}
+	for i := 0; i < cfg.Doctorate; i++ {
+		emit("Doctorate")
+	}
+
+	return dataset.NewBuilder("Adult").
+		AddContinuous("age", age).
+		AddCategorical("workclass", workclass).
+		AddContinuous("fnlwgt", fnlwgt).
+		AddContinuous("education_num", eduNum).
+		AddCategorical("marital_status", marital).
+		AddCategorical("occupation", occupation).
+		AddCategorical("relationship", relationship).
+		AddCategorical("race", race).
+		AddCategorical("sex", sex).
+		AddContinuous("capital_gain", capGain).
+		AddContinuous("hours_per_week", hours).
+		AddCategorical("native_country", country).
+		AddCategorical("class", class).
+		SetGroups(groups).
+		MustBuild()
+}
+
+// adultAge draws an age from the group-conditional mixture. Bachelors have
+// a young segment (19–26) that Doctorates lack; Doctorates concentrate
+// above 47.
+func adultAge(rng *rand.Rand, doc bool) float64 {
+	u := rng.Float64()
+	if doc {
+		switch {
+		case u < 0.08:
+			return uniform(rng, 27, 32)
+		case u < 0.52:
+			return uniform(rng, 32, 47)
+		default: // 48%
+			return uniform(rng, 47, 80)
+		}
+	}
+	switch {
+	case u < 0.16:
+		return uniform(rng, 19, 26)
+	case u < 0.54:
+		return uniform(rng, 27, 39)
+	case u < 0.78:
+		return uniform(rng, 39, 47)
+	default: // 22%
+		return uniform(rng, 47, 75)
+	}
+}
+
+// adultHours draws weekly hours conditioned on group and age — the
+// conditioning is the multivariate interaction SDAD-CS should find: older
+// Doctorates work long hours far more often than their marginal rate.
+func adultHours(rng *rand.Rand, doc bool, age float64) float64 {
+	pLong := 0.14 // Bachelors baseline for >50h
+	if doc {
+		pLong = 0.20
+		if age > 47 && age <= 69 {
+			pLong = 0.52
+		}
+	} else if age > 25 && age <= 39 {
+		pLong = 0.10
+	}
+	u := rng.Float64()
+	switch {
+	case u < pLong:
+		return uniform(rng, 51, 85)
+	case u < pLong+0.25:
+		return uniform(rng, 41, 50)
+	default:
+		return uniform(rng, 15, 40)
+	}
+}
+
+func adultOccupation(rng *rand.Rand, doc bool) string {
+	occs := []string{"Prof-specialty", "Exec-managerial", "Sales",
+		"Craft-repair", "Adm-clerical", "Other-service", "Tech-support"}
+	if doc {
+		return weighted(rng, occs, []float64{0.76, 0.10, 0.03, 0.02, 0.03, 0.02, 0.04})
+	}
+	return weighted(rng, occs, []float64{0.28, 0.22, 0.14, 0.10, 0.12, 0.06, 0.08})
+}
+
+func adultWorkclass(rng *rand.Rand, doc bool) string {
+	classes := []string{"Private", "Self-emp", "Government", "Academia"}
+	if doc {
+		return weighted(rng, classes, []float64{0.35, 0.10, 0.20, 0.35})
+	}
+	return weighted(rng, classes, []float64{0.70, 0.12, 0.13, 0.05})
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func pick(rng *rand.Rand, p, a, b float64) float64 {
+	if rng.Float64() < p {
+		return a
+	}
+	return b
+}
+
+func choose(rng *rand.Rand, p float64, a, b string) string {
+	if rng.Float64() < p {
+		return a
+	}
+	return b
+}
+
+func boolToP(cond bool, yes, no float64) float64 {
+	if cond {
+		return yes
+	}
+	return no
+}
+
+// weighted draws one of the values with the given (normalized) weights.
+func weighted(rng *rand.Rand, values []string, weights []float64) string {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return values[i]
+		}
+	}
+	return values[len(values)-1]
+}

@@ -1,0 +1,21 @@
+// Package datagen generates every workload the paper's evaluation uses.
+//
+// The module is offline and the paper's real datasets (UCI repository
+// files, Intel manufacturing data) cannot be fetched, so each is replaced
+// by a seeded synthetic generator that preserves the properties the
+// evaluation exercises (see DESIGN.md §3):
+//
+//   - Figure2: the 1-D split-then-merge discretization example of §4.4.
+//   - Simulated1..4: the four 2-attribute litmus datasets of Figure 3.
+//   - Adult: a census-like mixed dataset (Doctorate vs. Bachelors) with the
+//     univariate and age×hours interactions behind Table 1, Table 3 and
+//     Figure 4.
+//   - UCI / AllUCI: ten datasets shaped like Table 2 (group sizes, feature
+//     counts — large ones scaled down) with planted contrast structure of
+//     per-dataset strength.
+//   - Manufacturing: a semiconductor packaging line dataset with a planted
+//     failure signature (Table 7's chip-attach module / placement tool /
+//     rear-row / reflow-temperature pattern).
+//
+// All generators are deterministic given their seed.
+package datagen

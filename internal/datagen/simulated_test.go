@@ -1,0 +1,162 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"sdadcs/internal/dataset"
+)
+
+// suppIn returns the per-group support of rows with attr in (lo, hi].
+func suppIn(d *dataset.Dataset, attr int, lo, hi float64) []float64 {
+	counts := d.All().FilterRange(attr, lo, hi).GroupCounts()
+	sizes := d.GroupSizes()
+	out := make([]float64, len(counts))
+	for g := range counts {
+		if sizes[g] > 0 {
+			out[g] = float64(counts[g]) / float64(sizes[g])
+		}
+	}
+	return out
+}
+
+func TestFigure2Shape(t *testing.T) {
+	d := Figure2(1, 2000)
+	if d.Rows() != 2000 || d.NumAttrs() != 1 {
+		t.Fatalf("shape: rows=%d attrs=%d", d.Rows(), d.NumAttrs())
+	}
+	sizes := d.GroupSizes()
+	gA := d.GroupIndex("A")
+	gB := d.GroupIndex("B")
+	if gA < 0 || gB < 0 {
+		t.Fatal("missing groups")
+	}
+	fracA := float64(sizes[gA]) / float64(d.Rows())
+	if math.Abs(fracA-0.02) > 0.005 {
+		t.Errorf("group A fraction = %v, want ~0.02", fracA)
+	}
+	// Left of the median must be pure B (PR = 1), as in the §4.4 example.
+	med := d.All().Median(0)
+	left := d.All().FilterRange(0, math.Inf(-1), med).GroupCounts()
+	if left[gA] != 0 {
+		t.Errorf("left of median has %d A rows, want 0", left[gA])
+	}
+	// All of A lives in (62, 75].
+	inRange := d.All().FilterRange(0, 62, 75).GroupCounts()
+	if inRange[gA] != sizes[gA] {
+		t.Errorf("A rows in (62,75] = %d, want all %d", inRange[gA], sizes[gA])
+	}
+}
+
+func TestSimulated1Separation(t *testing.T) {
+	d := Simulated1(2, 2000)
+	g1 := d.GroupIndex("Group1")
+	g2 := d.GroupIndex("Group2")
+	// Attribute 1 below 0.5 is pure Group2 and above is pure Group1.
+	s := suppIn(d, 0, math.Inf(-1), 0.5)
+	if s[g1] != 0 {
+		t.Errorf("Group1 support below 0.5 = %v, want 0", s[g1])
+	}
+	if s[g2] < 0.95 {
+		t.Errorf("Group2 support below 0.5 = %v, want ~1", s[g2])
+	}
+	// Attributes 1 and 2 are correlated.
+	if corr(d, 0, 1) < 0.8 {
+		t.Errorf("correlation = %v, want > 0.8", corr(d, 0, 1))
+	}
+}
+
+func TestSimulated2NoUnivariateContrast(t *testing.T) {
+	d := Simulated2(3, 4000)
+	// Univariate halves carry almost no contrast…
+	for attr := 0; attr < 2; attr++ {
+		med := d.All().Median(attr)
+		s := suppIn(d, attr, math.Inf(-1), med)
+		if math.Abs(s[0]-s[1]) > 0.1 {
+			t.Errorf("attr %d median split diff = %v, want ~0", attr, math.Abs(s[0]-s[1]))
+		}
+	}
+	// …but a joint corner box does: attr0 low & attr1 high separates arms.
+	corner := d.All().FilterRange(0, math.Inf(-1), 0.35).FilterRange(1, 0.65, math.Inf(1))
+	counts := corner.GroupCounts()
+	sizes := d.GroupSizes()
+	diff := math.Abs(float64(counts[0])/float64(sizes[0]) - float64(counts[1])/float64(sizes[1]))
+	if diff < 0.1 {
+		t.Errorf("corner box diff = %v, want noticeable contrast", diff)
+	}
+}
+
+func TestSimulated3OnlyLevelOne(t *testing.T) {
+	d := Simulated3(4, 2000)
+	g2 := d.GroupIndex("Group2")
+	s := suppIn(d, 0, math.Inf(-1), 0.5)
+	if s[g2] < 0.95 {
+		t.Errorf("Group2 below 0.5 support = %v, want ~1", s[g2])
+	}
+	// Attribute 2 is uninformative.
+	s2 := suppIn(d, 1, math.Inf(-1), d.All().Median(1))
+	if math.Abs(s2[0]-s2[1]) > 0.08 {
+		t.Errorf("attr2 split diff = %v, want ~0", math.Abs(s2[0]-s2[1]))
+	}
+}
+
+func TestSimulated4JointRegions(t *testing.T) {
+	d := Simulated4(5, 4000)
+	g1 := d.GroupIndex("Group1")
+	g2 := d.GroupIndex("Group2")
+	// The joint region (x<0.25, y<0.5) is dominated by Group1.
+	box := d.All().FilterRange(0, math.Inf(-1), 0.25).FilterRange(1, math.Inf(-1), 0.5)
+	counts := box.GroupCounts()
+	purity := float64(counts[g1]) / float64(counts[g1]+counts[g2])
+	if purity < 0.85 {
+		t.Errorf("joint region Group1 purity = %v, want > 0.85", purity)
+	}
+}
+
+func TestSimulatedDeterminism(t *testing.T) {
+	a := Simulated2(42, 500)
+	b := Simulated2(42, 500)
+	for r := 0; r < a.Rows(); r++ {
+		if a.Cont(0, r) != b.Cont(0, r) || a.Group(r) != b.Group(r) {
+			t.Fatal("same seed should reproduce identical data")
+		}
+	}
+	c := Simulated2(43, 500)
+	same := true
+	for r := 0; r < a.Rows() && same; r++ {
+		same = a.Cont(0, r) == c.Cont(0, r)
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSimulatedDefaultSizes(t *testing.T) {
+	if Figure2(1, 0).Rows() != 1000 {
+		t.Error("Figure2 default size wrong")
+	}
+	if Simulated1(1, 0).Rows() != 1000 {
+		t.Error("Simulated1 default size wrong")
+	}
+	if Simulated4(1, 0).Rows() != 2000 {
+		t.Error("Simulated4 default size wrong")
+	}
+}
+
+// corr computes the Pearson correlation of two continuous attributes.
+func corr(d *dataset.Dataset, a, b int) float64 {
+	n := float64(d.Rows())
+	var sa, sb, saa, sbb, sab float64
+	for r := 0; r < d.Rows(); r++ {
+		x, y := d.Cont(a, r), d.Cont(b, r)
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	return cov / math.Sqrt(va*vb)
+}

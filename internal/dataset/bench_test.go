@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func benchDataset(n int) *Dataset {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	c := make([]string, n)
+	g := make([]string, n)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+		y[i] = rng.NormFloat64()
+		c[i] = "v" + strconv.Itoa(rng.Intn(5))
+		g[i] = "g" + strconv.Itoa(i%2)
+	}
+	return NewBuilder("bench").
+		AddContinuous("x", x).
+		AddContinuous("y", y).
+		AddCategorical("c", c).
+		SetGroups(g).
+		MustBuild()
+}
+
+func BenchmarkViewMedian(b *testing.B) {
+	d := benchDataset(10000)
+	v := d.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Median(0)
+	}
+}
+
+func BenchmarkViewFilterRange(b *testing.B) {
+	d := benchDataset(10000)
+	v := d.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.FilterRange(0, 25, 75)
+	}
+}
+
+func BenchmarkViewGroupCounts(b *testing.B) {
+	d := benchDataset(10000)
+	v := d.All().FilterRange(0, math.Inf(-1), 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.GroupCounts()
+	}
+}
+
+func BenchmarkDiscretized(b *testing.B) {
+	d := benchDataset(10000)
+	cuts := map[int][]float64{0: {25, 50, 75}, 1: {-1, 0, 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Discretized(d, cuts)
+	}
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Builder assembles a Dataset column by column. All columns (including the
+// group labels) must have the same length. Build validates and returns an
+// immutable Dataset.
+type Builder struct {
+	name string
+	d    Dataset
+	err  error
+	rows int // -1 until the first column fixes it
+}
+
+// NewBuilder returns a builder for a dataset with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, rows: -1}
+}
+
+func (b *Builder) checkLen(n int, what string) bool {
+	if b.err != nil {
+		return false
+	}
+	if b.rows == -1 {
+		b.rows = n
+	} else if b.rows != n {
+		b.err = fmt.Errorf("dataset: %s has %d rows, want %d", what, n, b.rows)
+		return false
+	}
+	return true
+}
+
+// AddContinuous appends a continuous attribute with the given values.
+// NaN marks a missing reading (the UCI convention after parsing): missing
+// rows match no interval, so they are excluded from every bin of this
+// attribute, and quantiles skip them. ±Inf is rejected — an infinite
+// measurement is a data error, not a missing one.
+func (b *Builder) AddContinuous(name string, values []float64) *Builder {
+	if !b.checkLen(len(values), name) {
+		return b
+	}
+	for i, v := range values {
+		if math.IsInf(v, 0) {
+			b.err = fmt.Errorf("dataset: %s row %d is infinite", name, i)
+			return b
+		}
+	}
+	b.d.attrs = append(b.d.attrs, Attr{Name: name, Kind: Continuous, col: len(b.d.contCols)})
+	b.d.contCols = append(b.d.contCols, values)
+	return b
+}
+
+// AddCategorical appends a categorical attribute with the given string
+// values; the domain is built from the distinct values in first-appearance
+// order.
+func (b *Builder) AddCategorical(name string, values []string) *Builder {
+	if !b.checkLen(len(values), name) {
+		return b
+	}
+	codes, domain := encode(values)
+	b.d.attrs = append(b.d.attrs, Attr{Name: name, Kind: Categorical, col: len(b.d.catCols)})
+	b.d.catCols = append(b.d.catCols, codes)
+	b.d.catDomains = append(b.d.catDomains, domain)
+	return b
+}
+
+// SetGroups sets the group label of every row.
+func (b *Builder) SetGroups(labels []string) *Builder {
+	if !b.checkLen(len(labels), "groups") {
+		return b
+	}
+	b.d.groups, b.d.groupNames = encode(labels)
+	return b
+}
+
+// Build validates and returns the dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.rows <= 0 {
+		return nil, errors.New("dataset: builder has no columns")
+	}
+	if b.d.groups == nil {
+		return nil, errors.New("dataset: SetGroups not called")
+	}
+	if len(b.d.attrs) == 0 {
+		return nil, errors.New("dataset: no attributes")
+	}
+	b.d.name = b.name
+	b.d.rows = b.rows
+	b.d.byName = make(map[string]int, len(b.d.attrs))
+	for i, a := range b.d.attrs {
+		if _, dup := b.d.byName[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		b.d.byName[a.Name] = i
+	}
+	if err := b.d.Validate(); err != nil {
+		return nil, err
+	}
+	return &b.d, nil
+}
+
+// MustBuild is Build for tests and generators with static inputs; it panics
+// on error.
+func (b *Builder) MustBuild() *Dataset {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// encode maps strings to dense codes in first-appearance order.
+func encode(values []string) ([]int, []string) {
+	codes := make([]int, len(values))
+	index := make(map[string]int)
+	var domain []string
+	for i, v := range values {
+		c, ok := index[v]
+		if !ok {
+			c = len(domain)
+			index[v] = c
+			domain = append(domain, v)
+		}
+		codes[i] = c
+	}
+	return codes, domain
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSVOptions controls FromCSV parsing.
+type CSVOptions struct {
+	// GroupColumn is the header name of the group attribute (required).
+	GroupColumn string
+	// ForceCategorical lists columns to treat as categorical even if every
+	// value parses as a number (e.g. encoded equipment IDs).
+	ForceCategorical []string
+	// Name is the dataset name; defaults to "csv".
+	Name string
+}
+
+// FromCSV reads a headered CSV into a Dataset. Columns whose every value
+// parses as a float become continuous attributes; everything else is
+// categorical. The group column is extracted and does not appear among the
+// attributes.
+func FromCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	if opts.GroupColumn == "" {
+		return nil, fmt.Errorf("dataset: CSVOptions.GroupColumn is required")
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	groupCol := -1
+	for i, h := range header {
+		if h == opts.GroupColumn {
+			groupCol = i
+			break
+		}
+	}
+	if groupCol == -1 {
+		return nil, fmt.Errorf("dataset: group column %q not found in header", opts.GroupColumn)
+	}
+	forced := make(map[string]bool, len(opts.ForceCategorical))
+	for _, c := range opts.ForceCategorical {
+		forced[c] = true
+	}
+
+	raw := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row has %d fields, want %d", len(rec), len(header))
+		}
+		for i, v := range rec {
+			raw[i] = append(raw[i], v)
+		}
+	}
+	if len(raw[0]) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+
+	name := opts.Name
+	if name == "" {
+		name = "csv"
+	}
+	b := NewBuilder(name)
+	for i, h := range header {
+		if i == groupCol {
+			continue
+		}
+		if !forced[h] {
+			if nums, ok := parseAllFloats(raw[i]); ok {
+				b.AddContinuous(h, nums)
+				continue
+			}
+		}
+		b.AddCategorical(h, raw[i])
+	}
+	b.SetGroups(raw[groupCol])
+	return b.Build()
+}
+
+// WriteCSV writes the dataset (attributes plus a trailing group column) as
+// headered CSV.
+func WriteCSV(w io.Writer, d *Dataset, groupColumn string) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.NumAttrs()+1)
+	for i := 0; i < d.NumAttrs(); i++ {
+		header = append(header, d.Attr(i).Name)
+	}
+	header = append(header, groupColumn)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for r := 0; r < d.Rows(); r++ {
+		for i := 0; i < d.NumAttrs(); i++ {
+			if d.Attr(i).Kind == Continuous {
+				rec[i] = strconv.FormatFloat(d.Cont(i, r), 'g', -1, 64)
+			} else {
+				rec[i] = d.CatValue(i, r)
+			}
+		}
+		rec[len(rec)-1] = d.GroupName(d.Group(r))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// parseAllFloats parses every string as float64, reporting ok=false on the
+// first failure. The UCI missing-value markers — empty string, "?", "NA" —
+// and a literal "NaN" become NaN (missing); a column must still contain at
+// least one finite value to count as continuous. ±Inf fails: such columns
+// fall back to categorical where the values stay visible.
+func parseAllFloats(vals []string) ([]float64, bool) {
+	out := make([]float64, len(vals))
+	finite := false
+	for i, s := range vals {
+		switch s {
+		case "", "?", "NA", "NaN", "nan":
+			out[i] = math.NaN()
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsInf(f, 0) {
+			return nil, false
+		}
+		if math.IsNaN(f) {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = f
+		finite = true
+	}
+	return out, finite
+}

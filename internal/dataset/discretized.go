@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Discretized returns a copy of d where each continuous attribute listed in
+// cuts is replaced by a categorical attribute whose values are bin labels
+// "(lo, hi]" induced by the sorted cut points. Attributes not listed in
+// cuts are carried over unchanged. This is how the global pre-binning
+// baselines (Fayyad–Irani entropy, MVD) feed the shared categorical
+// contrast search.
+//
+// An attribute with no cut points becomes a single-bin categorical
+// attribute (it can never contribute a contrast, matching the behaviour of
+// a discretizer that found no split).
+func Discretized(d *Dataset, cuts map[int][]float64) *Dataset {
+	b := NewBuilder(d.Name() + "-binned")
+	for i := 0; i < d.NumAttrs(); i++ {
+		a := d.Attr(i)
+		cut, ok := cuts[i]
+		if a.Kind != Continuous || !ok {
+			// Carry over unchanged.
+			if a.Kind == Continuous {
+				col := make([]float64, d.Rows())
+				copy(col, d.ContColumn(i))
+				b.AddContinuous(a.Name, col)
+			} else {
+				col := make([]string, d.Rows())
+				for r := 0; r < d.Rows(); r++ {
+					col[r] = d.CatValue(i, r)
+				}
+				b.AddCategorical(a.Name, col)
+			}
+			continue
+		}
+		sorted := make([]float64, len(cut))
+		copy(sorted, cut)
+		sort.Float64s(sorted)
+		labels := binLabels(sorted)
+		col := make([]string, d.Rows())
+		for r := 0; r < d.Rows(); r++ {
+			v := d.Cont(i, r)
+			if v != v { // missing readings get their own category
+				col[r] = "(missing)"
+				continue
+			}
+			col[r] = labels[binOf(sorted, v)]
+		}
+		b.AddCategorical(a.Name, col)
+	}
+	groups := make([]string, d.Rows())
+	for r := 0; r < d.Rows(); r++ {
+		groups[r] = d.GroupName(d.Group(r))
+	}
+	b.SetGroups(groups)
+	return b.MustBuild()
+}
+
+// BinBounds returns the (lo, hi] interval of bin i induced by sorted cut
+// points (bin 0 is (-inf, cut[0]], bin len(cut) is (cut[last], +inf]).
+func BinBounds(sortedCuts []float64, bin int) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if bin > 0 {
+		lo = sortedCuts[bin-1]
+	}
+	if bin < len(sortedCuts) {
+		hi = sortedCuts[bin]
+	}
+	return lo, hi
+}
+
+// binOf returns the bin index of x: the number of cut points < x … using
+// the (lo, hi] convention, x belongs to the first bin whose upper cut is
+// >= x.
+func binOf(sortedCuts []float64, x float64) int {
+	return sort.SearchFloat64s(sortedCuts, x) // first cut >= x
+}
+
+// binLabels renders one label per bin.
+func binLabels(sortedCuts []float64) []string {
+	labels := make([]string, len(sortedCuts)+1)
+	for i := range labels {
+		lo, hi := BinBounds(sortedCuts, i)
+		labels[i] = fmt.Sprintf("(%g, %g]", lo, hi)
+	}
+	return labels
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiscretizedBinsAndCarryOver(t *testing.T) {
+	d := NewBuilder("disc").
+		AddContinuous("x", []float64{1, 5, 10, 15, 20, 25}).
+		AddCategorical("c", []string{"a", "b", "a", "b", "a", "b"}).
+		AddContinuous("y", []float64{9, 8, 7, 6, 5, 4}).
+		SetGroups([]string{"G1", "G2", "G1", "G2", "G1", "G2"}).
+		MustBuild()
+
+	binned := Discretized(d, map[int][]float64{0: {10, 20}})
+	if binned.Rows() != d.Rows() || binned.NumAttrs() != d.NumAttrs() {
+		t.Fatal("shape changed")
+	}
+	// x became categorical with 3 bins; c stays categorical; y (no cuts)
+	// stays continuous.
+	if binned.Attr(0).Kind != Categorical {
+		t.Error("x should be binned categorical")
+	}
+	if binned.Attr(1).Kind != Categorical {
+		t.Error("c should stay categorical")
+	}
+	if binned.Attr(2).Kind != Continuous {
+		t.Error("y should stay continuous")
+	}
+	if got := len(binned.Domain(0)); got != 3 {
+		t.Errorf("x bins = %d, want 3", got)
+	}
+	// Values 1, 5, 10 land in the first bin ((−inf, 10]), 15, 20 in the
+	// second, 25 in the third.
+	if binned.CatCode(0, 0) != binned.CatCode(0, 2) {
+		t.Error("1 and 10 should share the first bin (upper-inclusive)")
+	}
+	if binned.CatCode(0, 3) != binned.CatCode(0, 4) {
+		t.Error("15 and 20 should share the second bin")
+	}
+	if binned.CatCode(0, 4) == binned.CatCode(0, 5) {
+		t.Error("20 and 25 should be in different bins")
+	}
+	// Groups carried over.
+	if binned.GroupName(binned.Group(0)) != "G1" {
+		t.Error("groups changed")
+	}
+	// Carried-over values intact.
+	if binned.Cont(2, 0) != 9 || binned.CatValue(1, 1) != "b" {
+		t.Error("carried columns changed")
+	}
+}
+
+func TestDiscretizedUnsortedCuts(t *testing.T) {
+	d := NewBuilder("u").
+		AddContinuous("x", []float64{1, 2, 3, 4}).
+		SetGroups([]string{"A", "B", "A", "B"}).
+		MustBuild()
+	// Cuts given out of order must still produce ordered bins.
+	binned := Discretized(d, map[int][]float64{0: {3, 1}})
+	if len(binned.Domain(0)) != 3 {
+		t.Errorf("bins = %d, want 3", len(binned.Domain(0)))
+	}
+}
+
+func TestDiscretizedEmptyCuts(t *testing.T) {
+	d := NewBuilder("e").
+		AddContinuous("x", []float64{1, 2}).
+		SetGroups([]string{"A", "B"}).
+		MustBuild()
+	binned := Discretized(d, map[int][]float64{0: {}})
+	if binned.Attr(0).Kind != Categorical || len(binned.Domain(0)) != 1 {
+		t.Error("no cuts should yield one catch-all bin")
+	}
+}
+
+func TestBinBounds(t *testing.T) {
+	cuts := []float64{10, 20}
+	lo, hi := BinBounds(cuts, 0)
+	if !math.IsInf(lo, -1) || hi != 10 {
+		t.Errorf("bin 0 = (%v, %v]", lo, hi)
+	}
+	lo, hi = BinBounds(cuts, 1)
+	if lo != 10 || hi != 20 {
+		t.Errorf("bin 1 = (%v, %v]", lo, hi)
+	}
+	lo, hi = BinBounds(cuts, 2)
+	if lo != 20 || !math.IsInf(hi, 1) {
+		t.Errorf("bin 2 = (%v, %v]", lo, hi)
+	}
+}
+
+func TestBinOfBoundarySemantics(t *testing.T) {
+	cuts := []float64{10, 20}
+	// Upper-inclusive: exactly 10 belongs to bin 0, 10.0001 to bin 1.
+	if binOf(cuts, 10) != 0 {
+		t.Error("10 should be in bin 0")
+	}
+	if binOf(cuts, 10.0001) != 1 {
+		t.Error("10.0001 should be in bin 1")
+	}
+	if binOf(cuts, 20) != 1 {
+		t.Error("20 should be in bin 1")
+	}
+	if binOf(cuts, 21) != 2 {
+		t.Error("21 should be in bin 2")
+	}
+	if binOf(cuts, -5) != 0 {
+		t.Error("-5 should be in bin 0")
+	}
+}

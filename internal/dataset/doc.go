@@ -1,0 +1,10 @@
+// Package dataset implements the in-memory columnar table substrate the
+// miner runs on: mixed categorical/continuous attributes, a designated
+// group attribute, cheap row-subset views (the "spaces" SDAD-CS explores are
+// views), quantile machinery for median splits, and CSV import/export.
+//
+// The layout is column-oriented: categorical columns store small integer
+// codes into a per-attribute domain, continuous columns store float64. A
+// View is a slice of row indices over a Dataset; all mining operates on
+// views so that recursive space exploration never copies column data.
+package dataset

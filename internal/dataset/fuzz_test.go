@@ -1,0 +1,42 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFromCSV checks that arbitrary CSV input never panics the loader and
+// that anything it accepts survives a write/read round trip.
+func FuzzFromCSV(f *testing.F) {
+	f.Add("x,grp\n1,A\n2,B\n")
+	f.Add("a,b,grp\n1,foo,A\n2,bar,B\n3,foo,A\n")
+	f.Add("grp\nA\nB\n")
+	f.Add("x,grp\n1,A\n")           // single group: must error, not panic
+	f.Add("x,grp\nnan,A\ninf,B\n")  // special float spellings
+	f.Add("x,grp\n1e308,A\n-1,B\n") // extreme magnitudes
+	f.Add(",\n,\n")
+	f.Add("x,grp\n\"quoted,comma\",A\nplain,B\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := FromCSV(strings.NewReader(input), CSVOptions{GroupColumn: "grp"})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d, "grp"); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		d2, err := FromCSV(bytes.NewReader(buf.Bytes()), CSVOptions{GroupColumn: "grp"})
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ncsv:\n%s", err, buf.String())
+		}
+		if d2.Rows() != d.Rows() || d2.NumAttrs() != d.NumAttrs() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				d.Rows(), d.NumAttrs(), d2.Rows(), d2.NumAttrs())
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package entropy
+
+import "testing"
+
+// FuzzDiscretize checks that the MDLP splitter never panics and always
+// returns strictly ordered cut points lying inside the value range.
+func FuzzDiscretize(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, []byte{0, 0, 0, 0, 1, 1, 1, 1})
+	f.Add([]byte{5, 5, 5, 5}, []byte{0, 1, 0, 1})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{9}, []byte{1})
+
+	f.Fuzz(func(t *testing.T, rawValues, rawClasses []byte) {
+		n := len(rawValues)
+		if len(rawClasses) < n {
+			n = len(rawClasses)
+		}
+		values := make([]float64, n)
+		classes := make([]int, n)
+		lo, hi := 256.0, -1.0
+		for i := 0; i < n; i++ {
+			values[i] = float64(rawValues[i])
+			classes[i] = int(rawClasses[i]) % 3
+			if values[i] < lo {
+				lo = values[i]
+			}
+			if values[i] > hi {
+				hi = values[i]
+			}
+		}
+		cuts := Discretize(values, classes, 3)
+		for i, c := range cuts {
+			if i > 0 && c <= cuts[i-1] {
+				t.Fatalf("cuts not strictly increasing: %v", cuts)
+			}
+			if n > 0 && (c < lo || c >= hi) {
+				t.Fatalf("cut %v outside value range [%v, %v)", c, lo, hi)
+			}
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "strings"
+
+// bar renders a proportional ASCII bar for a value in [0, max]; it makes
+// the figure outputs readable as histograms (the paper's Figures 2 and 4
+// are bar charts).
+func bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// seriesMax returns the largest of the values (0 if empty).
+func seriesMax(vals ...float64) float64 {
+	m := 0.0
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestBar(t *testing.T) {
+	if got := bar(1, 1, 10); len(got) != 10 {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := bar(0.5, 1, 10); len(got) != 5 {
+		t.Errorf("half bar = %q", got)
+	}
+	if got := bar(0, 1, 10); got != "" {
+		t.Errorf("zero bar = %q", got)
+	}
+	if got := bar(2, 1, 10); len(got) != 10 {
+		t.Errorf("overflow bar should clamp, got %q", got)
+	}
+	if got := bar(1, 0, 10); got != "" {
+		t.Errorf("zero max = %q", got)
+	}
+	if got := bar(-1, 1, 10); got != "" {
+		t.Errorf("negative value = %q", got)
+	}
+}
+
+func TestSeriesMax(t *testing.T) {
+	if seriesMax() != 0 {
+		t.Error("empty max should be 0")
+	}
+	if seriesMax(0.1, 0.7, 0.3) != 0.7 {
+		t.Error("max wrong")
+	}
+}

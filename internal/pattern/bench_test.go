@@ -1,0 +1,72 @@
+package pattern
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"sdadcs/internal/dataset"
+)
+
+func benchDataset(n int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	c := make([]string, n)
+	g := make([]string, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		c[i] = "v" + strconv.Itoa(rng.Intn(4))
+		g[i] = "g" + strconv.Itoa(i%2)
+	}
+	return dataset.NewBuilder("bench").
+		AddContinuous("x", x).
+		AddCategorical("c", c).
+		SetGroups(g).
+		MustBuild()
+}
+
+func BenchmarkItemsetKey(b *testing.B) {
+	s := NewItemset(
+		RangeItem(0, 0.25, 0.75),
+		CatItem(1, 2),
+		RangeItem(4, -1.5, 3.25),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Key()
+	}
+}
+
+func BenchmarkSupportsOf(b *testing.B) {
+	d := benchDataset(10000)
+	s := NewItemset(RangeItem(0, 0.25, 0.75), CatItem(1, 2))
+	v := d.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SupportsOf(s, v)
+	}
+}
+
+func BenchmarkMeasureEval(b *testing.B) {
+	s := CountsToSupports([]int{340, 120}, []int{1000, 800})
+	for i := 0; i < b.N; i++ {
+		SurprisingMeasure.Eval(s)
+	}
+}
+
+func BenchmarkSortContrasts(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	base := make([]Contrast, 200)
+	for i := range base {
+		base[i] = Contrast{
+			Set:   NewItemset(RangeItem(0, float64(i), float64(i+1))),
+			Score: rng.Float64(),
+		}
+	}
+	cs := make([]Contrast, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cs, base)
+		SortContrasts(cs)
+	}
+}

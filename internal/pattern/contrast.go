@@ -1,0 +1,85 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"sdadcs/internal/dataset"
+)
+
+// Contrast is a mined contrast pattern: an itemset together with its
+// per-group supports, the chi-square significance of the group/pattern
+// association, and the score under the driving interest measure. It is the
+// common output type of SDAD-CS and all baseline algorithms.
+type Contrast struct {
+	Set      Itemset
+	Supports Supports
+	Score    float64 // value of the driving interest measure
+	ChiSq    float64 // chi-square statistic of the 2xk group table
+	P        float64 // p-value of ChiSq
+}
+
+// Format renders the contrast with its supports, e.g.
+// "18 < age <= 26  [supp A=0.00 B=0.16]".
+func (c Contrast) Format(d *dataset.Dataset) string {
+	s := c.Set.Format(d) + "  [supp"
+	for g := 0; g < c.Supports.Groups(); g++ {
+		s += fmt.Sprintf(" %s=%.3f", d.GroupName(g), c.Supports.Supp(g))
+	}
+	return s + "]"
+}
+
+// SortContrasts orders contrasts by descending score, breaking ties by
+// canonical key so results are deterministic.
+func SortContrasts(cs []Contrast) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Score != cs[j].Score {
+			return cs[i].Score > cs[j].Score
+		}
+		return cs[i].Set.Key() < cs[j].Set.Key()
+	})
+}
+
+// TopScores returns the scores of the first k contrasts (after sorting by
+// descending score); it is the series compared across algorithms in
+// Table 4.
+func TopScores(cs []Contrast, k int) []float64 {
+	sorted := make([]Contrast, len(cs))
+	copy(sorted, cs)
+	SortContrasts(sorted)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = sorted[i].Score
+	}
+	return out
+}
+
+// MeanScore returns the mean of the top-k scores, 0 for empty input.
+func MeanScore(cs []Contrast, k int) float64 {
+	scores := TopScores(cs, k)
+	if len(scores) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores))
+}
+
+// Rescore recomputes every contrast's Score under a different measure and
+// re-sorts. Table 4 compares algorithms on mean support difference even
+// when SDAD-CS searched with the Surprising Measure; Rescore makes that
+// comparison.
+func Rescore(cs []Contrast, m Measure) []Contrast {
+	out := make([]Contrast, len(cs))
+	copy(out, cs)
+	for i := range out {
+		out[i].Score = m.Eval(out[i].Supports)
+	}
+	SortContrasts(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package pattern
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sdadcs/internal/dataset"
+)
+
+func mkContrast(attr int, lo, hi float64, c0, c1 int, score float64) Contrast {
+	return Contrast{
+		Set:      NewItemset(RangeItem(attr, lo, hi)),
+		Supports: supports(c0, c1, 100, 100),
+		Score:    score,
+	}
+}
+
+func TestSortContrastsDeterministic(t *testing.T) {
+	cs := []Contrast{
+		mkContrast(0, 0, 1, 10, 20, 0.1),
+		mkContrast(0, 1, 2, 50, 10, 0.4),
+		mkContrast(1, 0, 1, 30, 10, 0.4), // tie on score, breaks by key
+	}
+	SortContrasts(cs)
+	if cs[0].Score != 0.4 || cs[2].Score != 0.1 {
+		t.Error("not sorted by descending score")
+	}
+	if cs[0].Set.Key() > cs[1].Set.Key() {
+		t.Error("tie not broken by key")
+	}
+}
+
+func TestTopScoresAndMean(t *testing.T) {
+	cs := []Contrast{
+		mkContrast(0, 0, 1, 0, 0, 0.5),
+		mkContrast(0, 1, 2, 0, 0, 0.3),
+		mkContrast(0, 2, 3, 0, 0, 0.1),
+	}
+	top := TopScores(cs, 2)
+	if len(top) != 2 || top[0] != 0.5 || top[1] != 0.3 {
+		t.Errorf("TopScores = %v", top)
+	}
+	if got := MeanScore(cs, 2); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("MeanScore = %v", got)
+	}
+	if got := MeanScore(nil, 5); got != 0 {
+		t.Errorf("empty MeanScore = %v", got)
+	}
+	if got := TopScores(cs, 10); len(got) != 3 {
+		t.Errorf("overlong k should clamp, got %d", len(got))
+	}
+}
+
+func TestRescore(t *testing.T) {
+	cs := []Contrast{
+		{Set: NewItemset(RangeItem(0, 0, 1)), Supports: supports(90, 80, 100, 100), Score: 0},
+		{Set: NewItemset(RangeItem(0, 1, 2)), Supports: supports(20, 10, 100, 100), Score: 0},
+	}
+	byDiff := Rescore(cs, SupportDiff)
+	if math.Abs(byDiff[0].Score-0.1) > 1e-12 {
+		t.Errorf("rescored diff = %v", byDiff[0].Score)
+	}
+	bySM := Rescore(cs, SurprisingMeasure)
+	// The purer small contrast should win under the Surprising Measure.
+	if bySM[0].Supports.Count[0] != 20 {
+		t.Error("Rescore(SurprisingMeasure) should reorder")
+	}
+	// Original slice untouched.
+	if cs[0].Score != 0 {
+		t.Error("Rescore should not mutate input")
+	}
+}
+
+func TestContrastFormat(t *testing.T) {
+	d := dataset.NewBuilder("t").
+		AddContinuous("x", []float64{1, 2}).
+		SetGroups([]string{"A", "B"}).
+		MustBuild()
+	c := Contrast{
+		Set:      NewItemset(RangeItem(0, 0, 1)),
+		Supports: CountsToSupports([]int{1, 0}, []int{1, 1}),
+	}
+	got := c.Format(d)
+	if !strings.Contains(got, "A=1.000") || !strings.Contains(got, "B=0.000") {
+		t.Errorf("Format = %q", got)
+	}
+}

@@ -1,0 +1,11 @@
+// Package pattern defines the vocabulary shared by every mining algorithm
+// in this repository: items (a categorical attribute=value or a continuous
+// attribute∈(lo,hi] range), itemsets, per-group supports, and the interest
+// measures from the paper — support difference (Eq. 2), purity ratio
+// (Eq. 12), Surprising Measure (Eq. 13) — plus WRACC for the Cortana-style
+// subgroup discovery baseline.
+//
+// A Contrast couples an itemset with its per-group supports and test
+// statistics; it is the common output type of SDAD-CS and all baselines, so
+// the experiment harness can compare them uniformly.
+package pattern

@@ -1,0 +1,83 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Interval is a half-open range (Lo, Hi] over a continuous attribute — the
+// convention the paper's contrasts use ("18 < Age <= 26"). Lo may be -Inf
+// and Hi may be +Inf for unbounded ends.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// FullRange is the interval covering every real value.
+func FullRange() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+}
+
+// Contains reports whether x lies in (Lo, Hi].
+func (iv Interval) Contains(x float64) bool {
+	return x > iv.Lo && x <= iv.Hi
+}
+
+// Width returns Hi - Lo (may be +Inf).
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contiguous reports whether two intervals share exactly one boundary, i.e.
+// one ends where the other begins. Contiguous intervals can be merged
+// without gaps or overlaps.
+func (iv Interval) Contiguous(o Interval) bool {
+	return iv.Hi == o.Lo || o.Hi == iv.Lo
+}
+
+// Union merges two contiguous intervals. ok is false when the intervals
+// are not contiguous.
+func (iv Interval) Union(o Interval) (Interval, bool) {
+	switch {
+	case iv.Hi == o.Lo:
+		return Interval{Lo: iv.Lo, Hi: o.Hi}, true
+	case o.Hi == iv.Lo:
+		return Interval{Lo: o.Lo, Hi: iv.Hi}, true
+	default:
+		return Interval{}, false
+	}
+}
+
+// Equal reports exact equality of the bounds.
+func (iv Interval) Equal(o Interval) bool {
+	return iv.Lo == o.Lo && iv.Hi == o.Hi
+}
+
+// String renders the interval as "(lo, hi]".
+func (iv Interval) String() string {
+	return fmt.Sprintf("(%s, %s]", formatBound(iv.Lo), formatBound(iv.Hi))
+}
+
+func formatBound(x float64) string {
+	switch {
+	case math.IsInf(x, -1):
+		return "-inf"
+	case math.IsInf(x, 1):
+		return "inf"
+	default:
+		return strconv.FormatFloat(x, 'g', 6, 64)
+	}
+}
+
+// keyBound renders a bound at full precision for canonical itemset keys.
+func keyBound(x float64) string {
+	switch {
+	case math.IsInf(x, -1):
+		return "-inf"
+	case math.IsInf(x, 1):
+		return "inf"
+	default:
+		return strconv.FormatFloat(x, 'b', -1, 64)
+	}
+}

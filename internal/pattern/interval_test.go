@@ -1,0 +1,101 @@
+package pattern
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if iv.Contains(1) {
+		t.Error("lower bound should be exclusive")
+	}
+	if !iv.Contains(3) {
+		t.Error("upper bound should be inclusive")
+	}
+	if !iv.Contains(2) || iv.Contains(3.1) || iv.Contains(0.5) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestFullRange(t *testing.T) {
+	fr := FullRange()
+	for _, x := range []float64{-1e300, 0, 1e300} {
+		if !fr.Contains(x) {
+			t.Errorf("FullRange should contain %v", x)
+		}
+	}
+}
+
+func TestIntervalUnionContiguous(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 1}
+	b := Interval{Lo: 1, Hi: 2}
+	c := Interval{Lo: 3, Hi: 4}
+	if !a.Contiguous(b) || !b.Contiguous(a) {
+		t.Error("a and b should be contiguous")
+	}
+	if a.Contiguous(c) {
+		t.Error("a and c should not be contiguous")
+	}
+	u, ok := a.Union(b)
+	if !ok || u.Lo != 0 || u.Hi != 2 {
+		t.Errorf("Union = %v, %v", u, ok)
+	}
+	u2, ok2 := b.Union(a)
+	if !ok2 || !u.Equal(u2) {
+		t.Error("Union should be symmetric")
+	}
+	if _, ok := a.Union(c); ok {
+		t.Error("non-contiguous union should fail")
+	}
+}
+
+func TestIntervalEmptyWidth(t *testing.T) {
+	if (Interval{Lo: 1, Hi: 1}).Empty() == false {
+		t.Error("zero-width interval should be empty")
+	}
+	if (Interval{Lo: 1, Hi: 2}).Empty() {
+		t.Error("non-degenerate interval should not be empty")
+	}
+	if (Interval{Lo: 1, Hi: 4}).Width() != 3 {
+		t.Error("Width wrong")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	s := Interval{Lo: math.Inf(-1), Hi: 2.5}.String()
+	if !strings.Contains(s, "-inf") || !strings.Contains(s, "2.5") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: the union of contiguous intervals contains exactly the points
+// of either part.
+func TestIntervalUnionCoverageProperty(t *testing.T) {
+	f := func(loRaw, midRaw, hiRaw, xRaw float64) bool {
+		vals := []float64{math.Mod(loRaw, 100), math.Mod(midRaw, 100), math.Mod(hiRaw, 100)}
+		lo, mid, hi := vals[0], vals[1], vals[2]
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		if mid > hi {
+			mid, hi = hi, mid
+		}
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		a := Interval{Lo: lo, Hi: mid}
+		b := Interval{Lo: mid, Hi: hi}
+		u, ok := a.Union(b)
+		if !ok {
+			return false
+		}
+		x := math.Mod(xRaw, 200) - 100
+		return u.Contains(x) == (a.Contains(x) || b.Contains(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package pattern
+
+import (
+	"fmt"
+
+	"sdadcs/internal/dataset"
+)
+
+// Supports holds per-group counts of an itemset together with the group
+// sizes of the dataset it was measured on.
+type Supports struct {
+	Count []int // rows containing the itemset, per group
+	Size  []int // total rows, per group
+}
+
+// SupportsOf measures an itemset's per-group supports over a view. The
+// group sizes are taken from the full dataset (support is defined relative
+// to |g_k|, Eq. 1), while counts come from the view.
+func SupportsOf(s Itemset, v dataset.View) Supports {
+	d := v.Dataset()
+	sup := Supports{
+		Count: s.Cover(v).GroupCounts(),
+		Size:  d.GroupSizes(),
+	}
+	return sup
+}
+
+// CountsToSupports wraps raw counts (e.g. computed incrementally by a miner)
+// into a Supports.
+func CountsToSupports(count, size []int) Supports {
+	return Supports{Count: count, Size: size}
+}
+
+// Groups returns the number of groups.
+func (s Supports) Groups() int { return len(s.Count) }
+
+// Supp returns the support of the itemset in group g (Eq. 1).
+func (s Supports) Supp(g int) float64 {
+	if s.Size[g] == 0 {
+		return 0
+	}
+	return float64(s.Count[g]) / float64(s.Size[g])
+}
+
+// Diff returns supp_i - supp_j (Eq. 2).
+func (s Supports) Diff(i, j int) float64 { return s.Supp(i) - s.Supp(j) }
+
+// MaxDiff returns the largest support difference over all ordered group
+// pairs, i.e. max(supp) - min(supp). With two groups this is |supp_0 -
+// supp_1|.
+func (s Supports) MaxDiff() float64 {
+	lo, hi := s.Supp(0), s.Supp(0)
+	for g := 1; g < s.Groups(); g++ {
+		v := s.Supp(g)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// PR returns the purity ratio (Eq. 12): 1 - min(supp)/max(supp), where the
+// min and max range over groups. PR near 1 means the pattern's coverage is
+// dominated by one group. When no group contains the pattern, PR is 0.
+func (s Supports) PR() float64 {
+	lo, hi := s.Supp(0), s.Supp(0)
+	for g := 1; g < s.Groups(); g++ {
+		v := s.Supp(g)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return 1 - lo/hi
+}
+
+// Surprising returns the Surprising Measure (Eq. 13): PR × MaxDiff.
+func (s Supports) Surprising() float64 { return s.PR() * s.MaxDiff() }
+
+// WRAcc returns the weighted relative accuracy of the pattern for group g
+// against the rest: cover(c)/N × (P(g|c) − P(g)). The paper notes WRACC is
+// directly proportional to support difference for two groups (Novak et
+// al. 2009), which Table 4 relies on.
+func (s Supports) WRAcc(g int) float64 {
+	total := 0
+	covered := 0
+	for i := range s.Count {
+		total += s.Size[i]
+		covered += s.Count[i]
+	}
+	if total == 0 || covered == 0 {
+		return 0
+	}
+	coverRate := float64(covered) / float64(total)
+	conf := float64(s.Count[g]) / float64(covered)
+	prior := float64(s.Size[g]) / float64(total)
+	return coverRate * (conf - prior)
+}
+
+// TotalCount returns the pattern's row count summed over groups.
+func (s Supports) TotalCount() int {
+	n := 0
+	for _, c := range s.Count {
+		n += c
+	}
+	return n
+}
+
+// LargeIn reports whether the support exceeds delta in at least one group —
+// the minimum deviation size condition.
+func (s Supports) LargeIn(delta float64) bool {
+	for g := range s.Count {
+		if s.Supp(g) > delta {
+			return true
+		}
+	}
+	return false
+}
+
+// Measure selects the interest measure that drives the search.
+type Measure int
+
+const (
+	// SupportDiff scores a pattern by its largest support difference
+	// between groups (the paper's default for the quantitative analysis).
+	SupportDiff Measure = iota
+	// PurityRatio scores by PR (Eq. 12).
+	PurityRatio
+	// SurprisingMeasure scores by PR × Diff (Eq. 13).
+	SurprisingMeasure
+	// WRAccMeasure scores by the best per-group WRACC (used by the
+	// subgroup discovery baseline).
+	WRAccMeasure
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	switch m {
+	case SupportDiff:
+		return "support-difference"
+	case PurityRatio:
+		return "purity-ratio"
+	case SurprisingMeasure:
+		return "surprising-measure"
+	case WRAccMeasure:
+		return "wracc"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Eval computes the measure's value from supports.
+func (m Measure) Eval(s Supports) float64 {
+	switch m {
+	case SupportDiff:
+		return s.MaxDiff()
+	case PurityRatio:
+		return s.PR()
+	case SurprisingMeasure:
+		return s.Surprising()
+	case WRAccMeasure:
+		best := 0.0
+		for g := 0; g < s.Groups(); g++ {
+			if w := s.WRAcc(g); w > best {
+				best = w
+			}
+		}
+		return best
+	default:
+		panic("pattern: unknown measure")
+	}
+}

@@ -1,0 +1,196 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdadcs/internal/dataset"
+)
+
+func supports(c0, c1, s0, s1 int) Supports {
+	return CountsToSupports([]int{c0, c1}, []int{s0, s1})
+}
+
+func TestSuppAndDiff(t *testing.T) {
+	s := supports(20, 10, 100, 50)
+	if s.Supp(0) != 0.2 || s.Supp(1) != 0.2 {
+		t.Errorf("supports = %v, %v", s.Supp(0), s.Supp(1))
+	}
+	if s.Diff(0, 1) != 0 {
+		t.Errorf("diff = %v", s.Diff(0, 1))
+	}
+	s2 := supports(30, 5, 100, 50)
+	if math.Abs(s2.MaxDiff()-0.2) > 1e-12 {
+		t.Errorf("MaxDiff = %v, want 0.2", s2.MaxDiff())
+	}
+}
+
+func TestSuppZeroSize(t *testing.T) {
+	s := supports(0, 5, 0, 50)
+	if s.Supp(0) != 0 {
+		t.Error("zero-size group support should be 0")
+	}
+}
+
+func TestPRPaperExample(t *testing.T) {
+	// §4.4: PR = 1 - (48/98)/(2/2) = 0.51.
+	s := supports(2, 48, 2, 98)
+	want := 1 - (48.0 / 98.0)
+	if math.Abs(s.PR()-want) > 1e-12 {
+		t.Errorf("PR = %v, want %v", s.PR(), want)
+	}
+	// Pure space: only group 1 present.
+	pure := supports(0, 30, 100, 100)
+	if pure.PR() != 1 {
+		t.Errorf("pure PR = %v, want 1", pure.PR())
+	}
+	// No coverage anywhere.
+	none := supports(0, 0, 100, 100)
+	if none.PR() != 0 {
+		t.Errorf("empty PR = %v, want 0", none.PR())
+	}
+}
+
+func TestSurprisingMeasureOrdersBySize(t *testing.T) {
+	// §4.2: c1 (0.02 vs 0.04) and c2 (0.30 vs 0.60) have equal PR, but c2
+	// must score higher on the Surprising Measure.
+	c1 := supports(2, 4, 100, 100)
+	c2 := supports(30, 60, 100, 100)
+	if math.Abs(c1.PR()-c2.PR()) > 1e-12 {
+		t.Fatalf("PRs should be equal: %v vs %v", c1.PR(), c2.PR())
+	}
+	if c2.Surprising() <= c1.Surprising() {
+		t.Errorf("Surprising: c2=%v should beat c1=%v", c2.Surprising(), c1.Surprising())
+	}
+}
+
+func TestSurprisingMeasureOrdersByPurity(t *testing.T) {
+	// §4.2: c1 (0.9 vs 0.8) and c2 (0.20 vs 0.10) have equal Diff, but c2
+	// is purer and must score higher.
+	c1 := supports(90, 80, 100, 100)
+	c2 := supports(20, 10, 100, 100)
+	if math.Abs(c1.MaxDiff()-c2.MaxDiff()) > 1e-12 {
+		t.Fatalf("Diffs should be equal: %v vs %v", c1.MaxDiff(), c2.MaxDiff())
+	}
+	if c2.Surprising() <= c1.Surprising() {
+		t.Errorf("Surprising: c2=%v should beat c1=%v", c2.Surprising(), c1.Surprising())
+	}
+}
+
+func TestWRAccProportionalToDiff(t *testing.T) {
+	// For two equal-size groups, WRACC for group 0 is proportional to the
+	// support difference — the compatibility Table 4 relies on.
+	a := supports(40, 10, 100, 100)
+	b := supports(80, 20, 100, 100)
+	ra := a.WRAcc(0) / a.Diff(0, 1)
+	rb := b.WRAcc(0) / b.Diff(0, 1)
+	if a.WRAcc(0) <= 0 {
+		t.Fatalf("WRAcc = %v, want > 0", a.WRAcc(0))
+	}
+	// The ratio depends only on group balance, not the counts themselves?
+	// It does depend on coverage; just check the sign and monotonicity.
+	if rb <= 0 || ra <= 0 {
+		t.Errorf("WRAcc/diff ratios should be positive: %v, %v", ra, rb)
+	}
+	if b.WRAcc(0) <= a.WRAcc(0) {
+		t.Error("larger diff with same balance should give larger WRAcc")
+	}
+}
+
+func TestWRAccZeroCases(t *testing.T) {
+	if supports(0, 0, 100, 100).WRAcc(0) != 0 {
+		t.Error("no coverage should give WRAcc 0")
+	}
+	if supports(0, 0, 0, 0).WRAcc(0) != 0 {
+		t.Error("empty dataset should give WRAcc 0")
+	}
+}
+
+func TestLargeIn(t *testing.T) {
+	s := supports(15, 2, 100, 100)
+	if !s.LargeIn(0.1) {
+		t.Error("supp 0.15 should be large at delta 0.1")
+	}
+	if s.LargeIn(0.2) {
+		t.Error("supp 0.15 should not be large at delta 0.2")
+	}
+}
+
+func TestTotalCount(t *testing.T) {
+	if supports(3, 4, 10, 10).TotalCount() != 7 {
+		t.Error("TotalCount wrong")
+	}
+}
+
+func TestMeasureEvalAndString(t *testing.T) {
+	s := supports(30, 60, 100, 100)
+	if SupportDiff.Eval(s) != s.MaxDiff() {
+		t.Error("SupportDiff eval wrong")
+	}
+	if PurityRatio.Eval(s) != s.PR() {
+		t.Error("PurityRatio eval wrong")
+	}
+	if SurprisingMeasure.Eval(s) != s.Surprising() {
+		t.Error("SurprisingMeasure eval wrong")
+	}
+	if WRAccMeasure.Eval(s) <= 0 {
+		t.Error("WRAcc eval should be positive for a real contrast")
+	}
+	for _, m := range []Measure{SupportDiff, PurityRatio, SurprisingMeasure, WRAccMeasure} {
+		if m.String() == "" {
+			t.Error("measure should have a name")
+		}
+	}
+}
+
+func TestMeasureEvalUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown measure should panic")
+		}
+	}()
+	Measure(99).Eval(supports(1, 1, 2, 2))
+}
+
+// Property: all measures are bounded — PR and Diff in [0,1], Surprising in
+// [0,1], and PR = 1 exactly when one group's support is 0 and another's is
+// positive.
+func TestMeasureBoundsProperty(t *testing.T) {
+	f := func(c0, c1, e0, e1 uint8) bool {
+		s := supports(int(c0), int(c1), int(c0)+int(e0)+1, int(c1)+int(e1)+1)
+		pr, diff, sm := s.PR(), s.MaxDiff(), s.Surprising()
+		if pr < 0 || pr > 1 || diff < 0 || diff > 1 || sm < 0 || sm > 1 {
+			return false
+		}
+		if sm > diff+1e-12 || sm > pr+1e-12 {
+			return false
+		}
+		onePure := (c0 == 0) != (c1 == 0)
+		return (pr == 1) == onePure
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupportsOf(t *testing.T) {
+	d := dataset.NewBuilder("t").
+		AddContinuous("x", []float64{1, 2, 3, 4}).
+		SetGroups([]string{"A", "A", "B", "B"}).
+		MustBuild()
+	s := NewItemset(RangeItem(0, 0, 2))
+	sup := SupportsOf(s, d.All())
+	if sup.Count[0] != 2 || sup.Count[1] != 0 {
+		t.Errorf("counts = %v", sup.Count)
+	}
+	if sup.Supp(0) != 1 || sup.Supp(1) != 0 {
+		t.Errorf("supports = %v, %v", sup.Supp(0), sup.Supp(1))
+	}
+	// On a restricted view, counts come from the view but sizes from the
+	// whole dataset.
+	sub := SupportsOf(s, d.Restrict([]int{0}))
+	if sub.Count[0] != 1 || sub.Size[0] != 2 {
+		t.Errorf("view supports = %+v", sub)
+	}
+}

@@ -1,0 +1,134 @@
+// Package qar implements the quantitative association rule discretization
+// of Srikant & Agrawal (1996), which the paper's §2 discusses as a
+// candidate (and rejects): each continuous attribute is partitioned into n
+// equal-frequency base intervals, and consecutive partitions whose support
+// falls below the minimum-support threshold are merged. The scheme is
+// global and univariate — choosing n trades information loss (too small)
+// against cost (too large), and multivariate interactions are invisible —
+// which is exactly the motivation for SDAD-CS's adaptive joint binning.
+// It is provided as an additional baseline for comparison studies.
+package qar
+
+import (
+	"sort"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stucco"
+)
+
+// Config controls the discretization.
+type Config struct {
+	// Partitions is the initial number of equal-frequency intervals per
+	// attribute (Srikant's n; default 10).
+	Partitions int
+	// MinSup is the minimum fraction of rows a final interval must hold;
+	// adjacent intervals below it are merged (default 0.05).
+	MinSup float64
+}
+
+func (c *Config) defaults() {
+	if c.Partitions == 0 {
+		c.Partitions = 10
+	}
+	if c.MinSup == 0 {
+		c.MinSup = 0.05
+	}
+}
+
+// Discretize computes the cut points for one attribute's values. Missing
+// (NaN) values are skipped.
+func Discretize(values []float64, cfg Config) []float64 {
+	cfg.defaults()
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if v == v { // skip NaN
+			sorted = append(sorted, v)
+		}
+	}
+	n := len(sorted)
+	if n < 2 {
+		return nil
+	}
+	sort.Float64s(sorted)
+
+	// Equal-frequency boundaries, skipping duplicates (ties never split).
+	var cuts []float64
+	for b := 1; b < cfg.Partitions; b++ {
+		idx := b * n / cfg.Partitions
+		if idx <= 0 || idx >= n {
+			continue
+		}
+		c := sorted[idx-1]
+		if c >= sorted[n-1] {
+			continue // would leave an empty last bin
+		}
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+
+	// Merge consecutive partitions whose support is below MinSup.
+	minCount := int(cfg.MinSup * float64(n))
+	for {
+		counts := binCounts(sorted, cuts)
+		merged := false
+		for b := 0; b < len(counts); b++ {
+			if counts[b] >= minCount {
+				continue
+			}
+			// Merge with a neighbor by deleting the adjacent cut: prefer
+			// the smaller neighbor so interval sizes stay balanced.
+			cutIdx := b // deleting cuts[b] merges bins b and b+1
+			if b == len(counts)-1 || (b > 0 && counts[b-1] <= counts[b+1]) {
+				cutIdx = b - 1 // merge with the left neighbor instead
+			}
+			if cutIdx < 0 || cutIdx >= len(cuts) {
+				continue
+			}
+			cuts = append(cuts[:cutIdx], cuts[cutIdx+1:]...)
+			merged = true
+			break
+		}
+		if !merged || len(cuts) == 0 {
+			return cuts
+		}
+	}
+}
+
+// binCounts counts sorted values per (lo, hi] bin induced by cuts.
+func binCounts(sorted []float64, cuts []float64) []int {
+	counts := make([]int, len(cuts)+1)
+	b := 0
+	for _, v := range sorted {
+		for b < len(cuts) && v > cuts[b] {
+			b++
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// DiscretizeDataset applies the scheme to every continuous attribute.
+func DiscretizeDataset(d *dataset.Dataset, cfg Config) map[int][]float64 {
+	out := make(map[int][]float64)
+	for _, attr := range d.ContinuousAttrs() {
+		out[attr] = Discretize(d.ContColumn(attr), cfg)
+	}
+	return out
+}
+
+// Result couples the mined contrasts with the discretization.
+type Result struct {
+	Contrasts []pattern.Contrast
+	Cuts      map[int][]float64
+	Binned    *dataset.Dataset
+}
+
+// Mine discretizes and runs the shared categorical contrast search.
+func Mine(d *dataset.Dataset, cfg Config, search stucco.Config) Result {
+	cuts := DiscretizeDataset(d, cfg)
+	binned := dataset.Discretized(d, cuts)
+	res := stucco.Mine(binned, search)
+	return Result{Contrasts: res.Contrasts, Cuts: cuts, Binned: binned}
+}

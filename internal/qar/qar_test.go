@@ -1,0 +1,126 @@
+package qar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/stucco"
+)
+
+func TestDiscretizeEqualFrequency(t *testing.T) {
+	// 1000 distinct values, 10 partitions: 9 cuts at the decile points.
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	cuts := Discretize(values, Config{Partitions: 10, MinSup: 0.01})
+	if len(cuts) != 9 {
+		t.Fatalf("cuts = %d, want 9", len(cuts))
+	}
+	for i, c := range cuts {
+		want := float64((i+1)*100 - 1)
+		if c != want {
+			t.Errorf("cut %d = %v, want %v", i, c, want)
+		}
+	}
+}
+
+func TestDiscretizeMergesSmallBins(t *testing.T) {
+	// Every final bin must hold at least MinSup of the rows.
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+	}
+	cfg := Config{Partitions: 20, MinSup: 0.15}
+	cuts := Discretize(values, cfg)
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for b, c := range binCounts(sorted, cuts) {
+		if c < int(cfg.MinSup*float64(len(values))) {
+			t.Errorf("bin %d has %d rows, below minsup", b, c)
+		}
+	}
+}
+
+func TestDiscretizeTies(t *testing.T) {
+	// Constant column: no cuts possible.
+	values := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	if cuts := Discretize(values, Config{Partitions: 4}); len(cuts) != 0 {
+		t.Errorf("constant column produced cuts %v", cuts)
+	}
+	// Tiny input.
+	if cuts := Discretize([]float64{1}, Config{}); cuts != nil {
+		t.Error("single value should produce nil")
+	}
+}
+
+// Property: cuts are strictly increasing and each lies strictly inside the
+// value range.
+func TestDiscretizeCutsOrderedProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%400 + 20
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 100
+		}
+		cuts := Discretize(values, Config{Partitions: 8, MinSup: 0.05})
+		lo, hi := values[0], values[0]
+		for _, v := range values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for i, c := range cuts {
+			if i > 0 && c <= cuts[i-1] {
+				return false
+			}
+			if c < lo || c >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinePipeline(t *testing.T) {
+	d := datagen.Simulated1(2, 2000)
+	res := Mine(d, Config{}, stucco.Config{MaxDepth: 1})
+	if res.Binned == nil {
+		t.Fatal("no binned dataset")
+	}
+	if len(res.Contrasts) == 0 {
+		t.Fatal("QAR baseline found nothing on separable data")
+	}
+	// Equi-depth deciles chop the separable boundary into 0.1-wide bins:
+	// strong but fragmented contrasts, the §2 critique.
+	if res.Contrasts[0].Score < 0.15 {
+		t.Errorf("top score = %v, want a decile-sized contrast", res.Contrasts[0].Score)
+	}
+}
+
+func TestQARMissesInteraction(t *testing.T) {
+	// The property the paper criticizes: on XOR data the univariate
+	// equi-depth bins carry no signal at level 1.
+	d := datagen.Simulated2(3, 2000)
+	res := Mine(d, Config{}, stucco.Config{MaxDepth: 1})
+	for _, c := range res.Contrasts {
+		if c.Score > 0.15 {
+			t.Errorf("unexpected strong univariate contrast %v on XOR data", c.Score)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package report renders mined contrast patterns for people and machines:
+// plain text, Markdown tables, CSV, and structured JSON. The engineers the
+// paper's case study targets consume these lists directly, so the output
+// keeps per-group supports, the interest score and significance together
+// with every pattern.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+// Text writes one numbered line per contrast, as the contrast CLI prints.
+func Text(w io.Writer, d *dataset.Dataset, cs []pattern.Contrast) error {
+	for i, c := range cs {
+		if _, err := fmt.Fprintf(w, "%3d. %s  score=%.3f p=%.2g\n",
+			i+1, c.Format(d), c.Score, c.P); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown writes a GitHub-flavored Markdown table.
+func Markdown(w io.Writer, d *dataset.Dataset, cs []pattern.Contrast) error {
+	header := []string{"#", "contrast set"}
+	for g := 0; g < d.NumGroups(); g++ {
+		header = append(header, "supp("+d.GroupName(g)+")")
+	}
+	header = append(header, "score", "chi2", "p")
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for i, c := range cs {
+		row := []string{strconv.Itoa(i + 1), c.Set.Format(d)}
+		for g := 0; g < d.NumGroups(); g++ {
+			row = append(row, fmt.Sprintf("%.3f", c.Supports.Supp(g)))
+		}
+		row = append(row,
+			fmt.Sprintf("%.3f", c.Score),
+			fmt.Sprintf("%.2f", c.ChiSq),
+			fmt.Sprintf("%.3g", c.P))
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes a headered CSV with one row per contrast.
+func CSV(w io.Writer, d *dataset.Dataset, cs []pattern.Contrast) error {
+	cw := csv.NewWriter(w)
+	header := []string{"rank", "contrast"}
+	for g := 0; g < d.NumGroups(); g++ {
+		header = append(header, "supp_"+d.GroupName(g))
+	}
+	header = append(header, "score", "chi2", "p")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, c := range cs {
+		row := []string{strconv.Itoa(i + 1), c.Set.Format(d)}
+		for g := 0; g < d.NumGroups(); g++ {
+			row = append(row, strconv.FormatFloat(c.Supports.Supp(g), 'f', 6, 64))
+		}
+		row = append(row,
+			strconv.FormatFloat(c.Score, 'f', 6, 64),
+			strconv.FormatFloat(c.ChiSq, 'f', 4, 64),
+			strconv.FormatFloat(c.P, 'g', 6, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSONItem is the machine-readable form of one pattern condition.
+type JSONItem struct {
+	Attribute string   `json:"attribute"`
+	Kind      string   `json:"kind"`
+	Value     string   `json:"value,omitempty"`
+	Lo        *float64 `json:"lo,omitempty"` // null = unbounded
+	Hi        *float64 `json:"hi,omitempty"`
+}
+
+// JSONContrast is the machine-readable form of one mined pattern.
+type JSONContrast struct {
+	Rank     int                `json:"rank"`
+	Items    []JSONItem         `json:"items"`
+	Supports map[string]float64 `json:"supports"`
+	Counts   map[string]int     `json:"counts"`
+	Score    float64            `json:"score"`
+	ChiSq    float64            `json:"chi2"`
+	P        float64            `json:"p"`
+}
+
+// JSON writes the contrasts as a JSON array with items decomposed into
+// attribute/kind/value/range fields, suitable for downstream tooling.
+func JSON(w io.Writer, d *dataset.Dataset, cs []pattern.Contrast) error {
+	out := make([]JSONContrast, len(cs))
+	for i, c := range cs {
+		jc := JSONContrast{
+			Rank:     i + 1,
+			Supports: map[string]float64{},
+			Counts:   map[string]int{},
+			Score:    c.Score,
+			ChiSq:    c.ChiSq,
+			P:        c.P,
+		}
+		for _, it := range c.Set.Items() {
+			ji := JSONItem{Attribute: d.Attr(it.Attr).Name}
+			if it.Kind == dataset.Categorical {
+				ji.Kind = "categorical"
+				ji.Value = d.Domain(it.Attr)[it.Code]
+			} else {
+				ji.Kind = "continuous"
+				if !math.IsInf(it.Range.Lo, -1) {
+					lo := it.Range.Lo
+					ji.Lo = &lo
+				}
+				if !math.IsInf(it.Range.Hi, 1) {
+					hi := it.Range.Hi
+					ji.Hi = &hi
+				}
+			}
+			jc.Items = append(jc.Items, ji)
+		}
+		for g := 0; g < d.NumGroups(); g++ {
+			jc.Supports[d.GroupName(g)] = c.Supports.Supp(g)
+			jc.Counts[d.GroupName(g)] = c.Supports.Count[g]
+		}
+		out[i] = jc
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Format names a renderer.
+type Format string
+
+// Supported formats.
+const (
+	FormatText     Format = "text"
+	FormatMarkdown Format = "markdown"
+	FormatCSV      Format = "csv"
+	FormatJSON     Format = "json"
+)
+
+// Write renders in the named format.
+func Write(w io.Writer, format Format, d *dataset.Dataset, cs []pattern.Contrast) error {
+	switch format {
+	case FormatText, "":
+		return Text(w, d, cs)
+	case FormatMarkdown:
+		return Markdown(w, d, cs)
+	case FormatCSV:
+		return CSV(w, d, cs)
+	case FormatJSON:
+		return JSON(w, d, cs)
+	default:
+		return fmt.Errorf("report: unknown format %q", format)
+	}
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+func sample(t *testing.T) (*dataset.Dataset, []pattern.Contrast) {
+	t.Helper()
+	d := dataset.NewBuilder("r").
+		AddContinuous("age", []float64{20, 30, 40, 50}).
+		AddCategorical("site", []string{"A", "B", "A", "B"}).
+		SetGroups([]string{"good", "good", "bad", "bad"}).
+		MustBuild()
+	cs := []pattern.Contrast{
+		{
+			Set: pattern.NewItemset(
+				pattern.RangeItem(0, math.Inf(-1), 35),
+				pattern.CatItem(1, 0),
+			),
+			Supports: pattern.CountsToSupports([]int{1, 0}, []int{2, 2}),
+			Score:    0.5,
+			ChiSq:    4.2,
+			P:        0.04,
+		},
+		{
+			Set:      pattern.NewItemset(pattern.RangeItem(0, 35, math.Inf(1))),
+			Supports: pattern.CountsToSupports([]int{0, 2}, []int{2, 2}),
+			Score:    1.0,
+			ChiSq:    8.1,
+			P:        0.004,
+		},
+	}
+	return d, cs
+}
+
+func TestText(t *testing.T) {
+	d, cs := sample(t)
+	var buf bytes.Buffer
+	if err := Text(&buf, d, cs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "  1. ") || !strings.Contains(out, "  2. ") {
+		t.Error("missing rank numbering")
+	}
+	if !strings.Contains(out, "site = A") {
+		t.Error("missing categorical item")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	d, cs := sample(t)
+	var buf bytes.Buffer
+	if err := Markdown(&buf, d, cs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "supp(good)") || !strings.Contains(lines[0], "supp(bad)") {
+		t.Error("header missing group columns")
+	}
+	if !strings.HasPrefix(lines[1], "| ---") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	d, cs := sample(t)
+	var buf bytes.Buffer
+	if err := CSV(&buf, d, cs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want 3", len(records))
+	}
+	if records[0][0] != "rank" || records[1][0] != "1" {
+		t.Error("rank column wrong")
+	}
+	if records[2][3] != "1.000000" { // supp_bad of second contrast
+		t.Errorf("support cell = %q", records[2][3])
+	}
+}
+
+func TestJSON(t *testing.T) {
+	d, cs := sample(t)
+	var buf bytes.Buffer
+	if err := JSON(&buf, d, cs); err != nil {
+		t.Fatal(err)
+	}
+	var out []JSONContrast
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("contrasts = %d", len(out))
+	}
+	first := out[0]
+	if len(first.Items) != 2 {
+		t.Fatalf("items = %d", len(first.Items))
+	}
+	ageItem := first.Items[0]
+	if ageItem.Attribute != "age" || ageItem.Kind != "continuous" {
+		t.Errorf("item = %+v", ageItem)
+	}
+	if ageItem.Lo != nil {
+		t.Error("unbounded lo should be null")
+	}
+	if ageItem.Hi == nil || *ageItem.Hi != 35 {
+		t.Error("hi bound wrong")
+	}
+	if first.Items[1].Value != "A" {
+		t.Errorf("categorical value = %q", first.Items[1].Value)
+	}
+	if first.Supports["good"] != 0.5 || first.Counts["good"] != 1 {
+		t.Errorf("supports/counts wrong: %+v", first)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	d, cs := sample(t)
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, FormatJSON, ""} {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, d, cs); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced no output", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "bogus", d, cs); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestEmptyContrasts(t *testing.T) {
+	d, _ := sample(t)
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, FormatJSON} {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, d, nil); err != nil {
+			t.Errorf("format %q on empty list: %v", f, err)
+		}
+	}
+}

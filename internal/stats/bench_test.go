@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkChiSquare2xK(b *testing.B) {
+	count := []int{340, 120}
+	size := []int{1000, 800}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChiSquare2xK(count, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChiSquareQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ChiSquareQuantile(0.95, 1)
+	}
+}
+
+func BenchmarkFisherExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FisherExact22(12, 48, 30, 25)
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NormalQuantile(0.975)
+	}
+}
+
+func BenchmarkMannWhitney(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 0.3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MannWhitney(x, y)
+	}
+}
+
+func BenchmarkGammaIncLower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GammaIncLower(0.5, 1.92)
+	}
+}

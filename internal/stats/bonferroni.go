@@ -1,0 +1,42 @@
+package stats
+
+// BonferroniSchedule computes the per-level significance thresholds used by
+// STUCCO-style contrast set miners (Bay & Pazzani 2001): the level-l cutoff
+// is
+//
+//	α_l = min(α / |C_l|, α_{l-1})
+//
+// where |C_l| is the number of candidate patterns tested at level l. The
+// schedule is monotonically non-increasing, which keeps the family-wise
+// error rate below α while testing progressively larger pattern spaces.
+type BonferroniSchedule struct {
+	alpha float64
+	prev  float64
+}
+
+// NewBonferroniSchedule returns a schedule starting from the global
+// significance level alpha.
+func NewBonferroniSchedule(alpha float64) *BonferroniSchedule {
+	return &BonferroniSchedule{alpha: alpha, prev: alpha}
+}
+
+// Alpha returns the global (level-0) significance level.
+func (s *BonferroniSchedule) Alpha() float64 { return s.alpha }
+
+// LevelAlpha returns the adjusted significance threshold for a level at
+// which candidates patterns were tested, and records it so deeper levels
+// can never exceed it.
+func (s *BonferroniSchedule) LevelAlpha(candidates int) float64 {
+	a := s.alpha
+	if candidates > 0 {
+		a = s.alpha / float64(candidates)
+	}
+	if a > s.prev {
+		a = s.prev
+	}
+	s.prev = a
+	return a
+}
+
+// Current returns the most recently issued level threshold.
+func (s *BonferroniSchedule) Current() float64 { return s.prev }

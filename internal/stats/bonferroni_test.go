@@ -1,0 +1,32 @@
+package stats
+
+import "testing"
+
+func TestBonferroniScheduleMonotone(t *testing.T) {
+	s := NewBonferroniSchedule(0.05)
+	if s.Alpha() != 0.05 {
+		t.Errorf("Alpha = %v", s.Alpha())
+	}
+	a1 := s.LevelAlpha(10) // 0.005
+	if !almostEqual(a1, 0.005, 1e-15) {
+		t.Errorf("level 1 alpha = %v, want 0.005", a1)
+	}
+	a2 := s.LevelAlpha(2) // 0.025 but clamped to 0.005
+	if a2 != a1 {
+		t.Errorf("level 2 alpha = %v, should be clamped to %v", a2, a1)
+	}
+	a3 := s.LevelAlpha(1000)
+	if a3 >= a2 {
+		t.Errorf("level 3 alpha = %v, should shrink below %v", a3, a2)
+	}
+	if s.Current() != a3 {
+		t.Errorf("Current = %v, want %v", s.Current(), a3)
+	}
+}
+
+func TestBonferroniZeroCandidates(t *testing.T) {
+	s := NewBonferroniSchedule(0.05)
+	if got := s.LevelAlpha(0); got != 0.05 {
+		t.Errorf("zero candidates should keep alpha, got %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareTableKnown(t *testing.T) {
+	// Classic 2x2 example: observed [[10, 20], [30, 40]].
+	// Margins: rows 30/70, cols 40/60, n=100; expected [[12,18],[28,42]].
+	// chi2 = 4/12 + 4/18 + 4/28 + 4/42 = 0.7936507936...
+	res, err := ChiSquareTable([][]float64{{10, 20}, {30, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Statistic, 0.7936507936507936, 1e-12) {
+		t.Errorf("statistic = %v", res.Statistic)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %d, want 1", res.DF)
+	}
+	// For df=1, p = erfc(sqrt(stat/2)).
+	wantP := math.Erfc(math.Sqrt(res.Statistic / 2))
+	if !almostEqual(res.P, wantP, 1e-12) {
+		t.Errorf("p = %v, want %v", res.P, wantP)
+	}
+	if !almostEqual(res.MinExpected, 12, 1e-12) {
+		t.Errorf("minExpected = %v, want 12", res.MinExpected)
+	}
+}
+
+func TestChiSquareTableIndependent(t *testing.T) {
+	// Perfectly proportional table: statistic exactly 0.
+	res, err := ChiSquareTable([][]float64{{10, 20}, {20, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("statistic = %v, want 0", res.Statistic)
+	}
+	if res.Significant(0.05) {
+		t.Error("independent table should not be significant")
+	}
+}
+
+func TestChiSquareTableErrors(t *testing.T) {
+	if _, err := ChiSquareTable([][]float64{{1, 2}}); err == nil {
+		t.Error("single row should error")
+	}
+	if _, err := ChiSquareTable([][]float64{{0, 0}, {1, 2}}); err == nil {
+		t.Error("zero row margin should error")
+	}
+	if _, err := ChiSquareTable([][]float64{{0, 1}, {0, 2}}); err == nil {
+		t.Error("zero column margin should error")
+	}
+	if _, err := ChiSquareTable([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged table should error")
+	}
+	if _, err := ChiSquareTable([][]float64{{-1, 2}, {3, 4}}); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestChiSquare2xK(t *testing.T) {
+	res, err := ChiSquare2xK([]int{10, 30}, []int{30, 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Statistic, 0.7936507936507936, 1e-12) {
+		t.Errorf("statistic = %v", res.Statistic)
+	}
+	if _, err := ChiSquare2xK([]int{5}, []int{10}); err == nil {
+		t.Error("single group should error")
+	}
+	if _, err := ChiSquare2xK([]int{11}, []int{10, 10}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ChiSquare2xK([]int{11, 0}, []int{10, 10}); err == nil {
+		t.Error("count > size should error")
+	}
+}
+
+// Property: the chi-square statistic is non-negative and scaling all counts
+// by an integer factor scales the statistic by the same factor.
+func TestChiSquareScalingProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		obs := [][]float64{
+			{float64(a) + 1, float64(b) + 1},
+			{float64(c) + 1, float64(d) + 1},
+		}
+		r1, err1 := ChiSquareTable(obs)
+		if err1 != nil {
+			return true
+		}
+		scaled := [][]float64{
+			{3 * obs[0][0], 3 * obs[0][1]},
+			{3 * obs[1][0], 3 * obs[1][1]},
+		}
+		r3, err3 := ChiSquareTable(scaled)
+		if err3 != nil {
+			return false
+		}
+		return r1.Statistic >= 0 &&
+			almostEqual(r3.Statistic, 3*r1.Statistic, 1e-6*(1+r1.Statistic))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the optimistic bound dominates the statistic of every
+// "specialization" (per-group counts shrunk arbitrarily).
+func TestChiSquareOptimisticAdmissible(t *testing.T) {
+	f := func(c1, c2, s1Extra, s2Extra, k1, k2 uint8) bool {
+		size := []int{int(c1) + int(s1Extra) + 1, int(c2) + int(s2Extra) + 1}
+		count := []int{int(c1), int(c2)}
+		bound := ChiSquareOptimistic(count, size)
+		// A specialization keeps a subset of matching rows in each group.
+		sub := []int{int(k1) % (count[0] + 1), int(k2) % (count[1] + 1)}
+		res, err := ChiSquare2xK(sub, size)
+		if err != nil {
+			return true
+		}
+		return res.Statistic <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareOptimisticZeroCounts(t *testing.T) {
+	if got := ChiSquareOptimistic([]int{0, 0}, []int{10, 10}); got != 0 {
+		t.Errorf("bound with zero counts = %v, want 0", got)
+	}
+}
+
+func TestChiSquareSurvivalInvalidDF(t *testing.T) {
+	if !math.IsNaN(ChiSquareSurvival(1, 0)) {
+		t.Error("df=0 should yield NaN")
+	}
+}

@@ -1,0 +1,10 @@
+// Package stats implements the statistical substrate used by the contrast
+// pattern miner: chi-square tests with exact p-values (regularized incomplete
+// gamma), Fisher's exact test for 2x2 tables, the standard normal
+// distribution (CDF and quantile), the Wilcoxon–Mann–Whitney rank-sum test,
+// and the Bonferroni significance-level schedule used by STUCCO-style
+// contrast set miners.
+//
+// Everything is implemented from first principles on top of the Go standard
+// library (math.Lgamma, math.Erf); no external dependencies.
+package stats

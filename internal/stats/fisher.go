@@ -1,0 +1,58 @@
+package stats
+
+import "math"
+
+// FisherExact22 computes the two-sided Fisher exact test p-value for the
+// 2x2 table
+//
+//	a b
+//	c d
+//
+// by summing the hypergeometric probabilities of all tables with the same
+// margins that are no more probable than the observed one. It is used in
+// place of the chi-square test when an expected cell count is too small for
+// the asymptotic approximation to be valid.
+func FisherExact22(a, b, c, d int) float64 {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return math.NaN()
+	}
+	n := a + b + c + d
+	if n == 0 {
+		return 1
+	}
+	r1 := a + b
+	c1 := a + c
+	pObs := hypergeomLogPMF(a, r1, c1, n)
+	lo := max(0, c1-(n-r1))
+	hi := min(r1, c1)
+	const slack = 1e-7 // tolerate float fuzz when comparing probabilities
+	p := 0.0
+	for x := lo; x <= hi; x++ {
+		lp := hypergeomLogPMF(x, r1, c1, n)
+		if lp <= pObs+slack {
+			p += math.Exp(lp)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// hypergeomLogPMF returns log P(X = x) where X follows a hypergeometric
+// distribution: x successes drawn in r1 draws from a population of n with
+// c1 successes.
+func hypergeomLogPMF(x, r1, c1, n int) float64 {
+	return logChoose(c1, x) + logChoose(n-c1, r1-x) - logChoose(n, r1)
+}
+
+// logChoose returns log C(n, k), or -Inf for invalid arguments.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFisherExactTeaTasting(t *testing.T) {
+	// Fisher's lady-tasting-tea table [[3,1],[1,3]]: two-sided p = 0.4857...
+	got := FisherExact22(3, 1, 1, 3)
+	if !almostEqual(got, 0.48571428571428565, 1e-10) {
+		t.Errorf("FisherExact22(3,1,1,3) = %v, want 0.485714...", got)
+	}
+}
+
+func TestFisherExactKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, c, d int
+		want       float64
+	}{
+		// Verified against R fisher.test / scipy.stats.fisher_exact.
+		{10, 10, 10, 10, 1.0},
+		{8, 2, 1, 5, 0.03496503496503495},
+		{0, 10, 10, 0, 1.082508822446903e-05},
+		{0, 0, 0, 0, 1.0},
+		{5, 0, 0, 5, 0.007936507936507936},
+	}
+	for _, c := range cases {
+		got := FisherExact22(c.a, c.b, c.c, c.d)
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("FisherExact22(%d,%d,%d,%d) = %v, want %v",
+				c.a, c.b, c.c, c.d, got, c.want)
+		}
+	}
+}
+
+func TestFisherExactNegative(t *testing.T) {
+	if !math.IsNaN(FisherExact22(-1, 2, 3, 4)) {
+		t.Error("negative cell should yield NaN")
+	}
+}
+
+// Property: p-value lies in (0, 1] and is symmetric under swapping rows and
+// under swapping columns (both swaps preserve the 2x2 association).
+func TestFisherExactSymmetryProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		ai, bi, ci, di := int(a%30), int(b%30), int(c%30), int(d%30)
+		p := FisherExact22(ai, bi, ci, di)
+		if p <= 0 || p > 1+1e-12 {
+			return false
+		}
+		rowSwap := FisherExact22(ci, di, ai, bi)
+		colSwap := FisherExact22(bi, ai, di, ci)
+		return almostEqual(p, rowSwap, 1e-9) && almostEqual(p, colSwap, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fisher's exact p agrees with the chi-square p to within a loose
+// tolerance when all expected counts are large (asymptotic agreement).
+func TestFisherChiSquareAgreementLargeCounts(t *testing.T) {
+	cases := [][4]int{
+		{200, 300, 250, 250},
+		{400, 100, 350, 150},
+		{500, 500, 480, 520},
+	}
+	for _, c := range cases {
+		pf := FisherExact22(c[0], c[1], c[2], c[3])
+		res, err := ChiSquareTable([][]float64{
+			{float64(c[0]), float64(c[1])},
+			{float64(c[2]), float64(c[3])},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pf-res.P) > 0.03 {
+			t.Errorf("fisher %v vs chisq %v for %v", pf, res.P, c)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := logChoose(5, 2); !almostEqual(got, math.Log(10), 1e-12) {
+		t.Errorf("logChoose(5,2) = %v, want log(10)", got)
+	}
+	if !math.IsInf(logChoose(3, 5), -1) {
+		t.Error("logChoose(3,5) should be -Inf")
+	}
+	if !math.IsInf(logChoose(3, -1), -1) {
+		t.Error("logChoose(3,-1) should be -Inf")
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// gammaPExactIntegerA computes P(a, x) for integer a via the closed form
+// P(a, x) = 1 - e^{-x} Σ_{k=0}^{a-1} x^k / k! (the Poisson tail identity).
+func gammaPExactIntegerA(a int, x float64) float64 {
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < a; k++ {
+		sum += term
+		term *= x / float64(k+1)
+	}
+	return 1 - math.Exp(-x)*sum
+}
+
+func TestGammaIncLowerClosedForms(t *testing.T) {
+	// Integer a: compare to the exact Poisson-sum identity.
+	for _, c := range []struct {
+		a int
+		x float64
+	}{
+		{1, 1}, {2, 2}, {5, 5}, {10, 3}, {3, 20}, {7, 0.5}, {20, 40},
+	} {
+		got := GammaIncLower(float64(c.a), c.x)
+		want := gammaPExactIntegerA(c.a, c.x)
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaIncLower(%d, %v) = %v, want %v", c.a, c.x, got, want)
+		}
+	}
+	// Half-integer a = 0.5: P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		got := GammaIncLower(0.5, x)
+		want := math.Erf(math.Sqrt(x))
+		if !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaIncLower(0.5, %v) = %v, want erf(sqrt(x)) = %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaIncEdgeCases(t *testing.T) {
+	if got := GammaIncLower(2, 0); got != 0 {
+		t.Errorf("GammaIncLower(2, 0) = %v, want 0", got)
+	}
+	if got := GammaIncUpper(2, 0); got != 1 {
+		t.Errorf("GammaIncUpper(2, 0) = %v, want 1", got)
+	}
+	if got := GammaIncLower(2, math.Inf(1)); got != 1 {
+		t.Errorf("GammaIncLower(2, Inf) = %v, want 1", got)
+	}
+	if !math.IsNaN(GammaIncLower(-1, 1)) {
+		t.Error("GammaIncLower(-1, 1) should be NaN")
+	}
+	if !math.IsNaN(GammaIncLower(1, -1)) {
+		t.Error("GammaIncLower(1, -1) should be NaN")
+	}
+}
+
+// Property: P(a,x) + Q(a,x) = 1 for valid arguments.
+func TestGammaIncComplementProperty(t *testing.T) {
+	f := func(aRaw, xRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 50) + 0.1
+		x := math.Mod(math.Abs(xRaw), 100)
+		p := GammaIncLower(a, x)
+		q := GammaIncUpper(a, x)
+		return almostEqual(p+q, 1, 1e-9) && p >= -1e-12 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: P(a,·) is non-decreasing in x.
+func TestGammaIncMonotoneProperty(t *testing.T) {
+	f := func(aRaw, x1Raw, x2Raw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 20) + 0.1
+		x1 := math.Mod(math.Abs(x1Raw), 50)
+		x2 := math.Mod(math.Abs(x2Raw), 50)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return GammaIncLower(a, x1) <= GammaIncLower(a, x2)+1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Classical critical values.
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841458820694124, 1, 0.95},
+		{5.991464547107979, 2, 0.95},
+		{6.6348966010212145, 1, 0.99},
+		{9.487729036781154, 4, 0.95},
+		{0, 3, 0},
+	}
+	for _, c := range cases {
+		got := ChiSquareCDF(c.x, c.df)
+		if !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("ChiSquareCDF(%v, %d) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalComplement(t *testing.T) {
+	for _, x := range []float64{0.1, 1, 3.84, 10, 50} {
+		for _, df := range []int{1, 2, 5, 10} {
+			s := ChiSquareSurvival(x, df) + ChiSquareCDF(x, df)
+			if !almostEqual(s, 1, 1e-10) {
+				t.Errorf("survival+cdf at (%v,%d) = %v, want 1", x, df, s)
+			}
+		}
+	}
+}
+
+func TestChiSquareQuantileInverts(t *testing.T) {
+	for _, p := range []float64{0.01, 0.05, 0.5, 0.95, 0.99} {
+		for _, df := range []int{1, 2, 5, 20} {
+			x := ChiSquareQuantile(p, df)
+			back := ChiSquareCDF(x, df)
+			if !almostEqual(back, p, 1e-8) {
+				t.Errorf("CDF(Quantile(%v, %d)) = %v", p, df, back)
+			}
+		}
+	}
+	if ChiSquareQuantile(0, 3) != 0 {
+		t.Error("quantile at p=0 should be 0")
+	}
+	if !math.IsInf(ChiSquareQuantile(1, 3), 1) {
+		t.Error("quantile at p=1 should be +Inf")
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult holds the outcome of a Wilcoxon–Mann–Whitney rank-sum
+// test with the normal approximation (tie-corrected).
+type MannWhitneyResult struct {
+	U float64 // the U statistic for the first sample
+	Z float64 // standardized statistic
+	P float64 // two-sided p-value
+}
+
+// MannWhitney performs the two-sided Wilcoxon–Mann–Whitney test on samples
+// x and y. It is the test the paper uses to mark Table 4 entries whose
+// top-k interest-measure distributions are not significantly different from
+// SDAD-CS NP. The normal approximation with tie correction and continuity
+// correction is used; it is accurate for the sample sizes in the
+// experiments (tens of patterns per algorithm).
+func MannWhitney(x, y []float64) MannWhitneyResult {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{P: math.NaN(), Z: math.NaN(), U: math.NaN()}
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, accumulating the tie correction term Σ(t³-t).
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	variance := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		// All values identical: no evidence of difference.
+		return MannWhitneyResult{U: u1, Z: 0, P: 1}
+	}
+	// Continuity correction toward the mean.
+	d := u1 - mu
+	switch {
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	z := d / math.Sqrt(variance)
+	p := 2 * NormalSurvival(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{U: u1, Z: z, P: p}
+}

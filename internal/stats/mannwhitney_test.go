@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneySeparatedSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{11, 12, 13, 14, 15, 16, 17, 18}
+	res := MannWhitney(x, y)
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0 (completely separated)", res.U)
+	}
+	if res.P > 0.01 {
+		t.Errorf("p = %v, want < 0.01 for separated samples", res.P)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	y := []float64{5, 5, 5, 5}
+	res := MannWhitney(x, y)
+	if res.P != 1 {
+		t.Errorf("p = %v, want 1 for identical constant samples", res.P)
+	}
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 60)
+	y := make([]float64, 60)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	res := MannWhitney(x, y)
+	if res.P < 0.01 {
+		t.Errorf("p = %v; same-distribution samples should rarely be significant", res.P)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	x := []float64{1.2, 3.4, 2.2, 5.1, 0.3}
+	y := []float64{2.5, 4.4, 6.1, 1.1}
+	rxy := MannWhitney(x, y)
+	ryx := MannWhitney(y, x)
+	if !almostEqual(rxy.P, ryx.P, 1e-12) {
+		t.Errorf("p not symmetric: %v vs %v", rxy.P, ryx.P)
+	}
+	if !almostEqual(rxy.Z, -ryx.Z, 1e-12) {
+		t.Errorf("z not antisymmetric: %v vs %v", rxy.Z, ryx.Z)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// scipy.stats.mannwhitneyu([1,2,3],[4,5,6], use_continuity=True,
+	// alternative='two-sided') -> U=0, p=0.0808556.
+	res := MannWhitney([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+	if !almostEqual(res.P, 0.08085562747562012, 1e-6) {
+		t.Errorf("p = %v, want 0.0808556", res.P)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavy ties: correction should keep variance finite and p in range.
+	x := []float64{1, 1, 1, 2, 2}
+	y := []float64{1, 2, 2, 2, 3}
+	res := MannWhitney(x, y)
+	if math.IsNaN(res.P) || res.P <= 0 || res.P > 1 {
+		t.Errorf("p = %v out of range with ties", res.P)
+	}
+}
+
+func TestMannWhitneyEmpty(t *testing.T) {
+	res := MannWhitney(nil, []float64{1})
+	if !math.IsNaN(res.P) {
+		t.Error("empty sample should yield NaN p")
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-2.5758293035489004, 0.005},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.005, -2.5758293035489004},
+		{0.9999, 3.719016485455709},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !almostEqual(got, c.want, 1e-8) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("out-of-range p should yield NaN")
+	}
+}
+
+// Property: CDF(Quantile(p)) == p across (0, 1).
+func TestNormalQuantileInvertsProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		if p == 0 {
+			p = 0.5
+		}
+		return almostEqual(NormalCDF(NormalQuantile(p)), p, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is symmetric, Φ(-x) = 1 - Φ(x).
+func TestNormalCDFSymmetryProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(raw, 10)
+		return almostEqual(NormalCDF(-x), 1-NormalCDF(x), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZCritical(t *testing.T) {
+	if got := ZCritical(0.05); !almostEqual(got, 1.959963984540054, 1e-8) {
+		t.Errorf("ZCritical(0.05) = %v", got)
+	}
+	if got := ZCritical(0.01); !almostEqual(got, 2.5758293035489004, 1e-8) {
+		t.Errorf("ZCritical(0.01) = %v", got)
+	}
+	if !math.IsInf(ZCritical(0), 1) {
+		t.Error("ZCritical(0) should be +Inf")
+	}
+	if ZCritical(1) != 0 {
+		t.Error("ZCritical(1) should be 0")
+	}
+}

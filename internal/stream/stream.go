@@ -1,0 +1,301 @@
+// Package stream maintains contrast patterns over a sliding window of
+// arriving rows — the "timely feedback" deployment the paper's
+// introduction motivates (detect an oven running hot *while* the batch is
+// being processed) and its conclusion defers to the authors' companion
+// streaming work. A Monitor buffers the last WindowSize rows, re-mines
+// every MineEvery appends, and reports how the pattern set changed:
+// patterns that appeared, disappeared, or drifted in strength.
+//
+// Because SDAD-CS re-derives bin boundaries on every window, two
+// consecutive snapshots rarely produce bit-identical itemsets; patterns
+// are matched structurally instead (same attributes, same categorical
+// values, overlapping continuous ranges).
+package stream
+
+import (
+	"fmt"
+
+	"sdadcs/internal/core"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+// Schema declares the stream's columns, in arrival order.
+type Schema struct {
+	Name        string
+	Continuous  []string
+	Categorical []string
+}
+
+// Config controls the monitor.
+type Config struct {
+	// WindowSize is the number of most recent rows mined (default 2000).
+	WindowSize int
+	// MineEvery triggers a re-mine after this many appended rows
+	// (default WindowSize/4).
+	MineEvery int
+	// DriftDelta is the score change that counts as a drift event
+	// (default 0.1).
+	DriftDelta float64
+	// MinEventScore suppresses Appeared/Disappeared events for patterns
+	// scoring below it (default 0 = report everything). Weak patterns
+	// flicker across the largeness threshold between windows; an alerting
+	// floor keeps the event stream to changes worth acting on.
+	MinEventScore float64
+	// Mining configures the underlying miner (zero value = paper
+	// defaults).
+	Mining core.Config
+}
+
+func (c *Config) defaults() {
+	if c.WindowSize == 0 {
+		c.WindowSize = 2000
+	}
+	if c.MineEvery == 0 {
+		c.MineEvery = c.WindowSize / 4
+	}
+	if c.DriftDelta == 0 {
+		c.DriftDelta = 0.1
+	}
+}
+
+// EventKind classifies a pattern change.
+type EventKind int
+
+// Event kinds.
+const (
+	// Appeared: a pattern with no structural match in the previous
+	// snapshot.
+	Appeared EventKind = iota
+	// Disappeared: a previous pattern with no match in the new snapshot.
+	Disappeared
+	// Drifted: a matched pattern whose score moved by at least
+	// DriftDelta.
+	Drifted
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Appeared:
+		return "appeared"
+	case Disappeared:
+		return "disappeared"
+	case Drifted:
+		return "drifted"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one reported pattern change. The Contrast's itemset refers to
+// the snapshot dataset current when the event fired.
+type Event struct {
+	Kind      EventKind
+	Contrast  pattern.Contrast
+	PrevScore float64 // for Drifted and Disappeared
+	Format    string  // pre-rendered description (snapshot datasets are transient)
+}
+
+// Monitor is a sliding-window contrast pattern tracker. Not safe for
+// concurrent use.
+type Monitor struct {
+	schema Schema
+	cfg    Config
+
+	// ring buffers, newest at (start+count-1) % WindowSize
+	cont   [][]float64
+	cat    [][]string
+	groups []string
+	start  int
+	count  int
+
+	sinceMine int
+	current   []pattern.Contrast
+	curData   *dataset.Dataset
+	mines     int
+}
+
+// NewMonitor builds a monitor for the schema.
+func NewMonitor(schema Schema, cfg Config) *Monitor {
+	cfg.defaults()
+	m := &Monitor{
+		schema: schema,
+		cfg:    cfg,
+		cont:   make([][]float64, len(schema.Continuous)),
+		cat:    make([][]string, len(schema.Categorical)),
+		groups: make([]string, cfg.WindowSize),
+	}
+	for i := range m.cont {
+		m.cont[i] = make([]float64, cfg.WindowSize)
+	}
+	for i := range m.cat {
+		m.cat[i] = make([]string, cfg.WindowSize)
+	}
+	return m
+}
+
+// Len returns the number of rows currently in the window.
+func (m *Monitor) Len() int { return m.count }
+
+// Mines returns how many re-mines have run.
+func (m *Monitor) Mines() int { return m.mines }
+
+// Append adds one row. cont and cat must match the schema's column
+// counts. When a re-mine triggers, the pattern-change events are
+// returned; otherwise the slice is nil.
+func (m *Monitor) Append(cont []float64, cat []string, group string) ([]Event, error) {
+	if len(cont) != len(m.schema.Continuous) || len(cat) != len(m.schema.Categorical) {
+		return nil, fmt.Errorf("stream: row has %d/%d values, schema wants %d/%d",
+			len(cont), len(cat), len(m.schema.Continuous), len(m.schema.Categorical))
+	}
+	pos := (m.start + m.count) % m.cfg.WindowSize
+	if m.count == m.cfg.WindowSize {
+		m.start = (m.start + 1) % m.cfg.WindowSize // evict oldest
+	} else {
+		m.count++
+	}
+	for i, v := range cont {
+		m.cont[i][pos] = v
+	}
+	for i, v := range cat {
+		m.cat[i][pos] = v
+	}
+	m.groups[pos] = group
+
+	m.sinceMine++
+	if m.sinceMine < m.cfg.MineEvery || m.count < m.cfg.MineEvery {
+		return nil, nil
+	}
+	m.sinceMine = 0
+	return m.remine()
+}
+
+// Snapshot materializes the current window as a dataset. It returns nil
+// when the window holds fewer than two groups (mining is undefined).
+func (m *Monitor) Snapshot() *dataset.Dataset {
+	if m.count == 0 {
+		return nil
+	}
+	b := dataset.NewBuilder(m.schema.Name)
+	ordered := func(col []float64) []float64 {
+		out := make([]float64, m.count)
+		for i := 0; i < m.count; i++ {
+			out[i] = col[(m.start+i)%m.cfg.WindowSize]
+		}
+		return out
+	}
+	orderedS := func(col []string) []string {
+		out := make([]string, m.count)
+		for i := 0; i < m.count; i++ {
+			out[i] = col[(m.start+i)%m.cfg.WindowSize]
+		}
+		return out
+	}
+	for i, name := range m.schema.Continuous {
+		b.AddContinuous(name, ordered(m.cont[i]))
+	}
+	for i, name := range m.schema.Categorical {
+		b.AddCategorical(name, orderedS(m.cat[i]))
+	}
+	b.SetGroups(orderedS(m.groups))
+	d, err := b.Build()
+	if err != nil {
+		return nil // e.g. a single group in the window
+	}
+	return d
+}
+
+// Current returns the patterns of the latest snapshot.
+func (m *Monitor) Current() []pattern.Contrast { return m.current }
+
+// CurrentData returns the dataset the current patterns refer to.
+func (m *Monitor) CurrentData() *dataset.Dataset { return m.curData }
+
+// remine mines the window and diffs against the previous pattern set.
+func (m *Monitor) remine() ([]Event, error) {
+	d := m.Snapshot()
+	if d == nil {
+		return nil, nil
+	}
+	res := core.Mine(d, m.cfg.Mining)
+	m.mines++
+	events := m.diff(d, res.Contrasts)
+	m.current = res.Contrasts
+	m.curData = d
+	return events, nil
+}
+
+// diff matches new patterns against the previous set structurally.
+func (m *Monitor) diff(d *dataset.Dataset, next []pattern.Contrast) []Event {
+	var events []Event
+	matchedPrev := make([]bool, len(m.current))
+	for _, c := range next {
+		best := -1
+		for i, p := range m.current {
+			if !matchedPrev[i] && structurallySame(c.Set, d, p.Set, m.curData) {
+				best = i
+				break
+			}
+		}
+		if best == -1 {
+			if c.Score >= m.cfg.MinEventScore {
+				events = append(events, Event{
+					Kind:     Appeared,
+					Contrast: c,
+					Format:   c.Format(d),
+				})
+			}
+			continue
+		}
+		matchedPrev[best] = true
+		prev := m.current[best]
+		delta := c.Score - prev.Score
+		if delta >= m.cfg.DriftDelta || delta <= -m.cfg.DriftDelta {
+			events = append(events, Event{
+				Kind:      Drifted,
+				Contrast:  c,
+				PrevScore: prev.Score,
+				Format:    c.Format(d),
+			})
+		}
+	}
+	for i, p := range m.current {
+		if !matchedPrev[i] && p.Score >= m.cfg.MinEventScore {
+			events = append(events, Event{
+				Kind:      Disappeared,
+				Contrast:  p,
+				PrevScore: p.Score,
+				Format:    p.Set.Format(m.curData), // refers to the previous snapshot
+			})
+		}
+	}
+	return events
+}
+
+// structurallySame matches itemsets across snapshots: same attribute set,
+// identical categorical *values* (domain codes are assigned per snapshot
+// in first-appearance order, so codes are not comparable across windows),
+// and overlapping ranges on every continuous attribute (bin boundaries
+// drift between windows).
+func structurallySame(a pattern.Itemset, da *dataset.Dataset, b pattern.Itemset, db *dataset.Dataset) bool {
+	if a.Len() != b.Len() || da == nil || db == nil {
+		return false
+	}
+	for _, ia := range a.Items() {
+		ib, ok := b.ItemOn(ia.Attr)
+		if !ok || ia.Kind != ib.Kind {
+			return false
+		}
+		if ia.Kind == dataset.Categorical {
+			if da.Domain(ia.Attr)[ia.Code] != db.Domain(ib.Attr)[ib.Code] {
+				return false
+			}
+			continue
+		}
+		if ia.Range.Hi <= ib.Range.Lo || ib.Range.Hi <= ia.Range.Lo {
+			return false // disjoint ranges
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/core"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+func lineSchema() Schema {
+	return Schema{
+		Name:        "line",
+		Continuous:  []string{"temp"},
+		Categorical: []string{"machine"},
+	}
+}
+
+// feed appends n rows from the given regime. In the "normal" regime
+// failures are random; in the "hot" regime parts on M2 with high
+// temperature fail.
+func feed(t *testing.T, m *Monitor, rng *rand.Rand, n int, hot bool) []Event {
+	t.Helper()
+	var all []Event
+	for i := 0; i < n; i++ {
+		temp := 100 + rng.Float64()*100
+		machine := []string{"M1", "M2"}[rng.Intn(2)]
+		group := "pass"
+		if hot {
+			if temp > 170 && machine == "M2" && rng.Float64() < 0.95 {
+				group = "fail"
+			} else if rng.Float64() < 0.02 {
+				group = "fail"
+			}
+		} else if rng.Float64() < 0.05 {
+			group = "fail"
+		}
+		events, err := m.Append([]float64{temp}, []string{machine}, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, events...)
+	}
+	return all
+}
+
+func newTestMonitor() *Monitor {
+	return NewMonitor(lineSchema(), Config{
+		WindowSize: 800,
+		MineEvery:  400,
+		Mining:     core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2},
+	})
+}
+
+func TestMonitorDetectsRegimeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := newTestMonitor()
+
+	// Warm up on the normal regime; drain its initial events.
+	feed(t, m, rng, 1200, false)
+	if m.Mines() == 0 {
+		t.Fatal("no mining during warmup")
+	}
+
+	// Switch to the hot regime: the failure signature must appear.
+	events := feed(t, m, rng, 1600, true)
+	sawSignature := false
+	for _, e := range events {
+		if e.Kind != Appeared && e.Kind != Drifted {
+			continue
+		}
+		set := e.Contrast.Set
+		_, hasTemp := set.ItemOn(0)
+		if hasTemp && e.Contrast.Score > 0.3 {
+			sawSignature = true
+		}
+	}
+	if !sawSignature {
+		for _, e := range events {
+			t.Logf("event %s: %s score=%.3f", e.Kind, e.Format, e.Contrast.Score)
+		}
+		t.Error("hot-regime signature not reported")
+	}
+}
+
+func TestMonitorQuietOnStableStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMonitor(lineSchema(), Config{
+		WindowSize:    800,
+		MineEvery:     400,
+		MinEventScore: 0.2, // alerting floor: ignore weak flicker
+		Mining:        core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2},
+	})
+	feed(t, m, rng, 1600, true) // reach steady state on one regime
+	events := feed(t, m, rng, 1600, true)
+	// A stable regime should produce few strong events (boundary jitter
+	// can cause occasional drift reports, but not a stream of strong
+	// appearances).
+	appeared := 0
+	for _, e := range events {
+		if e.Kind == Appeared {
+			appeared++
+		}
+	}
+	if appeared > 2 {
+		t.Errorf("%d strong appearances on a stable stream", appeared)
+	}
+}
+
+func TestMonitorWindowEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := newTestMonitor()
+	feed(t, m, rng, 3000, false)
+	if m.Len() != 800 {
+		t.Errorf("window holds %d rows, want 800", m.Len())
+	}
+	// After feeding far more hot rows than the window holds, the normal
+	// regime must be fully forgotten: current patterns show the
+	// signature.
+	feed(t, m, rng, 2000, true)
+	found := false
+	for _, c := range m.Current() {
+		if c.Score > 0.3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("current patterns do not reflect the new regime")
+	}
+	if m.CurrentData() == nil {
+		t.Error("no current snapshot dataset")
+	}
+}
+
+func TestMonitorSchemaMismatch(t *testing.T) {
+	m := newTestMonitor()
+	if _, err := m.Append([]float64{1, 2}, []string{"M1"}, "pass"); err == nil {
+		t.Error("wrong continuous arity should error")
+	}
+	if _, err := m.Append([]float64{1}, nil, "pass"); err == nil {
+		t.Error("wrong categorical arity should error")
+	}
+}
+
+func TestMonitorSingleGroupWindow(t *testing.T) {
+	m := NewMonitor(lineSchema(), Config{WindowSize: 100, MineEvery: 50})
+	// All rows in one group: snapshot is not minable; no events, no panic.
+	for i := 0; i < 200; i++ {
+		events, err := m.Append([]float64{float64(i)}, []string{"M1"}, "pass")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 0 {
+			t.Fatal("events from a single-group window")
+		}
+	}
+	if m.Snapshot() != nil {
+		t.Error("single-group snapshot should be nil")
+	}
+}
+
+func TestStructurallySame(t *testing.T) {
+	// Two snapshot datasets whose categorical domains are coded in
+	// opposite first-appearance orders: in da, "M2" is code 2; in db it
+	// is code 0.
+	mk := func(values []string) *dataset.Dataset {
+		n := len(values)
+		x := make([]float64, n)
+		g := make([]string, n)
+		for i := range x {
+			x[i] = float64(i)
+			g[i] = []string{"p", "f"}[i%2]
+		}
+		return dataset.NewBuilder("s").
+			AddContinuous("temp", x).
+			AddCategorical("machine", values).
+			SetGroups(g).
+			MustBuild()
+	}
+	da := mk([]string{"M0", "M1", "M2", "M0", "M1", "M2"})
+	db := mk([]string{"M2", "M1", "M0", "M2", "M1", "M0"})
+
+	a := pattern.NewItemset(pattern.RangeItem(0, 1, 3), pattern.CatItem(1, 2)) // M2 in da
+	b := pattern.NewItemset(pattern.RangeItem(0, 2, 4), pattern.CatItem(1, 0)) // M2 in db
+	if !structurallySame(a, da, b, db) {
+		t.Error("same value under different codes should match")
+	}
+	sameCode := pattern.NewItemset(pattern.RangeItem(0, 2, 4), pattern.CatItem(1, 2)) // M0 in db
+	if structurallySame(a, da, sameCode, db) {
+		t.Error("same code but different value should not match")
+	}
+	disjoint := pattern.NewItemset(pattern.RangeItem(0, 4, 5), pattern.CatItem(1, 0))
+	if structurallySame(a, da, disjoint, db) {
+		t.Error("disjoint ranges should not match")
+	}
+	smaller := pattern.NewItemset(pattern.RangeItem(0, 1, 3))
+	if structurallySame(a, da, smaller, db) {
+		t.Error("different sizes should not match")
+	}
+	if structurallySame(a, nil, b, db) {
+		t.Error("nil dataset should not match")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Appeared.String() != "appeared" || Disappeared.String() != "disappeared" ||
+		Drifted.String() != "drifted" {
+		t.Error("kind names wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

@@ -1,0 +1,215 @@
+// Package stucco implements STUCCO-style categorical contrast set mining
+// (Bay & Pazzani 2001), the foundation the paper builds on for itemsets
+// with only categorical attributes (§3, §4.3):
+//
+//   - levelwise candidate generation over attribute=value items,
+//   - a contrast is an itemset whose largest support difference exceeds δ
+//     (Eq. 2) and whose group association is chi-square significant at the
+//     Bonferroni-adjusted level (Eq. 3),
+//   - pruning by minimum deviation size, expected cell count < 5, and the
+//     chi-square optimistic-estimate bound.
+//
+// It also serves as the shared combination search run over pre-binned data
+// for the entropy and MVD baselines: after global discretization each bin
+// is just a categorical value.
+package stucco
+
+import (
+	"sdadcs/internal/bitmap"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+	"sdadcs/internal/topk"
+)
+
+// Config controls a mining run.
+type Config struct {
+	// Alpha is the global significance level (default 0.05); it is
+	// Bonferroni-adjusted per level during the search.
+	Alpha float64
+	// Delta is the minimum support difference for a large contrast and the
+	// minimum support for the deviation-size pruning (default 0.1).
+	Delta float64
+	// MaxDepth bounds the itemset size (default 5, the paper's setting).
+	MaxDepth int
+	// TopK bounds the result list (default 100). 0 keeps everything above
+	// Delta.
+	TopK int
+	// Measure scores contrasts for the top-k list (default SupportDiff).
+	Measure pattern.Measure
+	// Attrs restricts the search to these attribute indices; nil means all
+	// categorical attributes.
+	Attrs []int
+}
+
+func (c *Config) defaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 5
+	}
+	if c.TopK == 0 {
+		c.TopK = 100
+	}
+}
+
+// Result carries the mined contrasts and search statistics.
+type Result struct {
+	Contrasts []pattern.Contrast
+	// Candidates is the number of candidate itemsets whose supports were
+	// counted.
+	Candidates int
+	// Pruned is the number of candidates cut by any pruning rule before
+	// their children were generated.
+	Pruned int
+}
+
+// node is a surviving search-tree entry: an itemset, the rows it covers
+// (as a bitmap — candidate counting is bitmap intersection + popcount, as
+// in SciCSM), and the highest attribute used (children only append later
+// attributes, which enumerates each attribute set exactly once — the
+// Figure 1 order).
+type node struct {
+	set      pattern.Itemset
+	cover    *bitmap.Set
+	supports pattern.Supports
+	lastAttr int
+}
+
+// Mine runs the levelwise search and returns the top contrasts sorted by
+// descending score.
+func Mine(d *dataset.Dataset, cfg Config) Result {
+	cfg.defaults()
+	attrs := cfg.Attrs
+	if attrs == nil {
+		attrs = d.CategoricalAttrs()
+	}
+	sizes := d.GroupSizes()
+	totalRows := d.Rows()
+	// δ bounds the support difference, not the score: purity-based
+	// measures legitimately score large contrasts below δ.
+	floor := cfg.Delta
+	if cfg.Measure != pattern.SupportDiff {
+		floor = 0
+	}
+	list := topk.New(cfg.TopK, floor)
+	schedule := stats.NewBonferroniSchedule(cfg.Alpha)
+	res := Result{}
+	idx := bitmap.NewIndex(d)
+
+	// Level 1 candidates: every (attribute, value) item.
+	frontier := expand(idx, d, []node{{set: pattern.NewItemset(), cover: idx.All(), lastAttr: -1}}, attrs)
+
+	for level := 1; level <= cfg.MaxDepth && len(frontier) > 0; level++ {
+		alpha := schedule.LevelAlpha(len(frontier))
+		var survivors []node
+		for _, nd := range frontier {
+			res.Candidates++
+			sup := nd.supports
+
+			// Record as a contrast when large and significant.
+			test, err := stats.ChiSquare2xK(sup.Count, sizes)
+			significant := err == nil && test.P < alpha && test.MinExpected >= 5
+			if sup.MaxDiff() > cfg.Delta && significant {
+				list.Add(pattern.Contrast{
+					Set:      nd.set,
+					Supports: sup,
+					Score:    cfg.Measure.Eval(sup),
+					ChiSq:    test.Statistic,
+					P:        test.P,
+				})
+			}
+
+			// Pruning rules decide whether children are generated.
+			if prune(nd, sup, cfg, alpha, sizes, totalRows) {
+				res.Pruned++
+				continue
+			}
+			survivors = append(survivors, nd)
+		}
+		if level == cfg.MaxDepth {
+			break
+		}
+		frontier = expand(idx, d, survivors, attrs)
+	}
+	return Result{
+		Contrasts:  list.Contrasts(),
+		Candidates: res.Candidates,
+		Pruned:     res.Pruned,
+	}
+}
+
+// prune applies STUCCO's rules to a counted candidate; true means do not
+// expand its children.
+func prune(nd node, sup pattern.Supports, cfg Config, alpha float64, sizes []int, totalRows int) bool {
+	// Minimum deviation size: the itemset must have support over δ in at
+	// least one group, or no specialization can be a large contrast.
+	if !sup.LargeIn(cfg.Delta) {
+		return true
+	}
+	// Expected count: all statistical tests on specializations are invalid
+	// (and treated as insignificant) when the expected cell count is below
+	// 5 already.
+	if expectedTooSmall(sup, sizes, totalRows) {
+		return true
+	}
+	// Chi-square upper bound: if even the most extreme specialization
+	// cannot reach the critical value at the current level's α, no
+	// descendant can be significant.
+	bound := stats.ChiSquareOptimistic(sup.Count, sizes)
+	crit := stats.ChiSquareQuantile(1-alpha, len(sizes)-1)
+	return bound < crit
+}
+
+// expectedTooSmall reports whether the smallest expected cell count of the
+// pattern/group contingency table is below 5.
+func expectedTooSmall(sup pattern.Supports, sizes []int, totalRows int) bool {
+	covered := sup.TotalCount()
+	for _, gs := range sizes {
+		exp := float64(covered) * float64(gs) / float64(totalRows)
+		if exp < 5 {
+			return true
+		}
+	}
+	return false
+}
+
+// expand generates the children of the surviving nodes: each node is
+// extended with every value of every attribute strictly after its last
+// attribute. Covers are bitmap intersections; supports are popcounts
+// against the group masks.
+func expand(idx *bitmap.Index, d *dataset.Dataset, nodes []node, attrs []int) []node {
+	var out []node
+	sizes := d.GroupSizes()
+	for _, nd := range nodes {
+		for _, attr := range attrs {
+			if attr <= nd.lastAttr {
+				continue
+			}
+			domain := d.Domain(attr)
+			for code := range domain {
+				item := pattern.CatItem(attr, code)
+				cover := nd.cover.And(idx.Value(attr, code))
+				counts := idx.GroupCounts(cover)
+				total := 0
+				for _, c := range counts {
+					total += c
+				}
+				if total == 0 {
+					continue
+				}
+				out = append(out, node{
+					set:      nd.set.With(item),
+					cover:    cover,
+					supports: pattern.CountsToSupports(counts, sizes),
+					lastAttr: attr,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package stucco
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+// skewed builds a categorical dataset where attribute 0 value "hot" is
+// strongly associated with group X, attribute 1 is mildly associated, and
+// attribute 2 is noise.
+func skewed(seed int64, n int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	a0 := make([]string, n)
+	a1 := make([]string, n)
+	a2 := make([]string, n)
+	g := make([]string, n)
+	for i := range g {
+		x := i%2 == 0
+		if x {
+			g[i] = "X"
+		} else {
+			g[i] = "Y"
+		}
+		if x && rng.Float64() < 0.8 || !x && rng.Float64() < 0.2 {
+			a0[i] = "hot"
+		} else {
+			a0[i] = "cold"
+		}
+		if x && rng.Float64() < 0.6 || !x && rng.Float64() < 0.4 {
+			a1[i] = "m1"
+		} else {
+			a1[i] = "m2"
+		}
+		a2[i] = "n" + strconv.Itoa(rng.Intn(3))
+	}
+	return dataset.NewBuilder("skewed").
+		AddCategorical("a0", a0).
+		AddCategorical("a1", a1).
+		AddCategorical("a2", a2).
+		SetGroups(g).
+		MustBuild()
+}
+
+func TestMineFindsPlantedContrast(t *testing.T) {
+	d := skewed(1, 2000)
+	res := Mine(d, Config{})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("no contrasts found")
+	}
+	// The top contrast should involve a0 = hot or a0 = cold.
+	top := res.Contrasts[0]
+	it, ok := top.Set.ItemOn(0)
+	if !ok {
+		t.Fatalf("top contrast %s does not use a0", top.Set.Format(d))
+	}
+	if v := d.Domain(0)[it.Code]; v != "hot" && v != "cold" {
+		t.Errorf("top contrast value = %q", v)
+	}
+	if top.Score < 0.5 {
+		t.Errorf("top score = %v, want ~0.6", top.Score)
+	}
+}
+
+func TestMineNoContrastOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	a := make([]string, n)
+	g := make([]string, n)
+	for i := range a {
+		a[i] = "v" + strconv.Itoa(rng.Intn(4))
+		g[i] = "g" + strconv.Itoa(rng.Intn(2))
+	}
+	d := dataset.NewBuilder("noise").
+		AddCategorical("a", a).
+		SetGroups(g).
+		MustBuild()
+	res := Mine(d, Config{})
+	if len(res.Contrasts) != 0 {
+		t.Errorf("found %d contrasts on pure noise", len(res.Contrasts))
+	}
+}
+
+func TestMineRespectsDepth(t *testing.T) {
+	d := skewed(3, 2000)
+	res := Mine(d, Config{MaxDepth: 1})
+	for _, c := range res.Contrasts {
+		if c.Set.Len() > 1 {
+			t.Errorf("depth-1 run produced itemset of size %d", c.Set.Len())
+		}
+	}
+	res2 := Mine(d, Config{MaxDepth: 2})
+	if res2.Candidates <= res.Candidates {
+		t.Error("deeper search should test more candidates")
+	}
+}
+
+func TestMineTopK(t *testing.T) {
+	d := skewed(4, 2000)
+	res := Mine(d, Config{TopK: 3})
+	if len(res.Contrasts) > 3 {
+		t.Errorf("TopK=3 returned %d contrasts", len(res.Contrasts))
+	}
+	// Sorted by descending score.
+	for i := 1; i < len(res.Contrasts); i++ {
+		if res.Contrasts[i].Score > res.Contrasts[i-1].Score {
+			t.Error("contrasts not sorted")
+		}
+	}
+}
+
+func TestMineAttrsSubset(t *testing.T) {
+	d := skewed(5, 2000)
+	res := Mine(d, Config{Attrs: []int{1, 2}})
+	for _, c := range res.Contrasts {
+		if _, uses := c.Set.ItemOn(0); uses {
+			t.Error("restricted search used excluded attribute")
+		}
+	}
+}
+
+func TestMinePruningReducesWork(t *testing.T) {
+	d := skewed(6, 2000)
+	full := Mine(d, Config{MaxDepth: 3})
+	if full.Pruned == 0 {
+		t.Error("expected some pruning on this data")
+	}
+	if full.Candidates == 0 {
+		t.Error("no candidates counted")
+	}
+}
+
+func TestMineSupportsConsistency(t *testing.T) {
+	// Every reported contrast's supports must match a direct recount.
+	d := skewed(7, 1500)
+	res := Mine(d, Config{})
+	for _, c := range res.Contrasts {
+		direct := pattern.SupportsOf(c.Set, d.All())
+		for gi := range direct.Count {
+			if direct.Count[gi] != c.Supports.Count[gi] {
+				t.Errorf("%s: count[%d] = %d, direct %d",
+					c.Set.Format(d), gi, c.Supports.Count[gi], direct.Count[gi])
+			}
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	d := skewed(8, 1500)
+	a := Mine(d, Config{})
+	b := Mine(d, Config{})
+	if len(a.Contrasts) != len(b.Contrasts) {
+		t.Fatal("non-deterministic result count")
+	}
+	for i := range a.Contrasts {
+		if a.Contrasts[i].Set.Key() != b.Contrasts[i].Set.Key() {
+			t.Fatal("non-deterministic order")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package subgroup reimplements the Cortana configuration the paper
+// compares against (§5, "Cortana-Interval"): beam search with width 100
+// over subgroup descriptions, WRACC as the quality measure (a nominal
+// target, one run per group, all subgroups pooled as the contrast set),
+// and the "intervals" strategy for numeric attributes — candidate
+// conditions are intervals assembled from equal-frequency boundaries,
+// including the half-open "(−inf, b]" and "(b, +inf)" forms visible in the
+// paper's Table 1 rows.
+package subgroup
+
+import (
+	"math"
+	"sort"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/stats"
+	"sdadcs/internal/topk"
+)
+
+// Config controls the beam search.
+type Config struct {
+	// BeamWidth is the number of subgroups carried between levels
+	// (default 100, the paper's "search width 100").
+	BeamWidth int
+	// Depth bounds the number of conditions per subgroup (default 2,
+	// matching the depth the paper uses in its Table 3 discussion).
+	Depth int
+	// Bins is the number of equal-frequency boundary candidates per
+	// numeric attribute (default 8, Cortana's default bin count).
+	Bins int
+	// TopK bounds the pooled result list (default 100, the paper's
+	// "maximum subgroups to k (100 in experiments)").
+	TopK int
+	// MinCoverage is the minimum number of rows a subgroup must cover
+	// (default 2, the paper's "minimum coverage to 2").
+	MinCoverage int
+	// MinQuality is the minimum WRACC for a subgroup to be reported
+	// (default 0.01, the paper's "minimum value of 0.01").
+	MinQuality float64
+	// Measure scores the pooled contrasts for cross-algorithm comparison
+	// (default SupportDiff; the beam itself is always driven by WRACC).
+	Measure pattern.Measure
+}
+
+func (c *Config) defaults() {
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 100
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.Bins == 0 {
+		c.Bins = 8
+	}
+	if c.TopK == 0 {
+		c.TopK = 100
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 2
+	}
+	if c.MinQuality == 0 {
+		c.MinQuality = 0.01
+	}
+}
+
+// Result carries the pooled contrasts and the number of subgroup
+// evaluations performed.
+type Result struct {
+	Contrasts []pattern.Contrast
+	Evaluated int
+}
+
+// Mine runs the beam search once per group and pools the results.
+func Mine(d *dataset.Dataset, cfg Config) Result {
+	cfg.defaults()
+	conds := conditions(d, cfg.Bins)
+	sizes := d.GroupSizes()
+	list := topk.New(cfg.TopK, cfg.MinQuality)
+	evaluated := 0
+
+	for g := 0; g < d.NumGroups(); g++ {
+		mineTarget(d, g, conds, sizes, cfg, list, &evaluated)
+	}
+	// Rescore pooled subgroups under the comparison measure.
+	out := pattern.Rescore(list.Contrasts(), cfg.Measure)
+	return Result{Contrasts: out, Evaluated: evaluated}
+}
+
+// beamEntry is one subgroup on the beam.
+type beamEntry struct {
+	set     pattern.Itemset
+	cover   dataset.View
+	quality float64
+}
+
+// mineTarget runs one beam search with group g as the target.
+func mineTarget(d *dataset.Dataset, g int, conds []pattern.Item, sizes []int,
+	cfg Config, list *topk.List, evaluated *int) {
+
+	beam := []beamEntry{{set: pattern.NewItemset(), cover: d.All()}}
+	for level := 1; level <= cfg.Depth; level++ {
+		var next []beamEntry
+		seen := map[string]bool{}
+		for _, be := range beam {
+			for _, cond := range conds {
+				if _, used := be.set.ItemOn(cond.Attr); used {
+					continue
+				}
+				set := be.set.With(cond)
+				key := set.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cover := be.cover.Filter(func(row int) bool {
+					return cond.Matches(d, row)
+				})
+				*evaluated++
+				if cover.Len() < cfg.MinCoverage {
+					continue
+				}
+				sup := pattern.CountsToSupports(cover.GroupCounts(), sizes)
+				q := sup.WRAcc(g)
+				if q >= cfg.MinQuality {
+					test, err := stats.ChiSquare2xK(sup.Count, sizes)
+					c := pattern.Contrast{
+						Set:      set,
+						Supports: sup,
+						Score:    q,
+					}
+					if err == nil {
+						c.ChiSq = test.Statistic
+						c.P = test.P
+					}
+					list.Add(c)
+				}
+				next = append(next, beamEntry{set: set, cover: cover, quality: q})
+			}
+		}
+		// Keep the top BeamWidth by quality (deterministic tie-break).
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].quality != next[j].quality {
+				return next[i].quality > next[j].quality
+			}
+			return next[i].set.Key() < next[j].set.Key()
+		})
+		if len(next) > cfg.BeamWidth {
+			next = next[:cfg.BeamWidth]
+		}
+		beam = next
+	}
+}
+
+// conditions enumerates every candidate condition: attribute=value for
+// categorical attributes, and all intervals over equal-frequency
+// boundaries for numeric attributes (including one-sided intervals).
+func conditions(d *dataset.Dataset, bins int) []pattern.Item {
+	var out []pattern.Item
+	for _, attr := range d.CategoricalAttrs() {
+		for code := range d.Domain(attr) {
+			out = append(out, pattern.CatItem(attr, code))
+		}
+	}
+	for _, attr := range d.ContinuousAttrs() {
+		bounds := boundaries(d, attr, bins)
+		// Intervals (b_i, b_j] over the boundary ladder extended with
+		// ±inf; skip the trivial full range.
+		ext := make([]float64, 0, len(bounds)+2)
+		ext = append(ext, math.Inf(-1))
+		ext = append(ext, bounds...)
+		ext = append(ext, math.Inf(1))
+		for i := 0; i < len(ext)-1; i++ {
+			for j := i + 1; j < len(ext); j++ {
+				if i == 0 && j == len(ext)-1 {
+					continue // (-inf, +inf)
+				}
+				out = append(out, pattern.RangeItem(attr, ext[i], ext[j]))
+			}
+		}
+	}
+	return out
+}
+
+// boundaries returns up to bins-1 distinct equal-frequency split values.
+func boundaries(d *dataset.Dataset, attr, bins int) []float64 {
+	var out []float64
+	prev := math.Inf(-1)
+	for b := 1; b < bins; b++ {
+		q := d.All().Quantile(attr, float64(b)/float64(bins))
+		if q > prev {
+			out = append(out, q)
+			prev = q
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package subgroup
+
+import (
+	"math"
+	"testing"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+func TestMineSeparableData(t *testing.T) {
+	d := datagen.Simulated1(1, 2000)
+	res := Mine(d, Config{})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("no subgroups found on separable data")
+	}
+	// The top contrast (by support difference after rescoring) should be a
+	// near-perfect interval on Attribute1.
+	top := res.Contrasts[0]
+	if top.Score < 0.8 {
+		t.Errorf("top score = %v, want near 1", top.Score)
+	}
+	if _, ok := top.Set.ItemOn(d.AttrIndex("Attribute1")); !ok {
+		t.Errorf("top contrast %s does not use the separating attribute", top.Set.Format(d))
+	}
+	if res.Evaluated == 0 {
+		t.Error("evaluation counter not wired up")
+	}
+}
+
+func TestMineDepthBound(t *testing.T) {
+	d := datagen.Simulated4(2, 1500)
+	res := Mine(d, Config{Depth: 1})
+	for _, c := range res.Contrasts {
+		if c.Set.Len() > 1 {
+			t.Errorf("depth-1 subgroup has %d conditions", c.Set.Len())
+		}
+	}
+	res2 := Mine(d, Config{Depth: 2})
+	if res2.Evaluated <= res.Evaluated {
+		t.Error("depth-2 should evaluate more subgroups")
+	}
+}
+
+func TestMineRespectsTopK(t *testing.T) {
+	d := datagen.Simulated1(3, 1000)
+	res := Mine(d, Config{TopK: 5})
+	if len(res.Contrasts) > 5 {
+		t.Errorf("TopK=5 returned %d contrasts", len(res.Contrasts))
+	}
+}
+
+func TestMineMinCoverage(t *testing.T) {
+	// A 4-row dataset with MinCoverage larger than any split can cover.
+	d := dataset.NewBuilder("tiny").
+		AddContinuous("x", []float64{1, 2, 3, 4}).
+		SetGroups([]string{"A", "A", "B", "B"}).
+		MustBuild()
+	res := Mine(d, Config{MinCoverage: 100})
+	if len(res.Contrasts) != 0 {
+		t.Errorf("found %d subgroups despite impossible coverage", len(res.Contrasts))
+	}
+}
+
+func TestMineFindsIntervalNotJustHalfLine(t *testing.T) {
+	// Group A concentrated in the middle third: the best description is a
+	// two-sided interval, which the intervals strategy can express.
+	n := 3000
+	x := make([]float64, n)
+	g := make([]string, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n)
+		if x[i] > 0.33 && x[i] <= 0.66 {
+			g[i] = "A"
+		} else {
+			g[i] = "B"
+		}
+	}
+	d := dataset.NewBuilder("mid").AddContinuous("x", x).SetGroups(g).MustBuild()
+	res := Mine(d, Config{})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("no subgroups")
+	}
+	top := res.Contrasts[0]
+	it, ok := top.Set.ItemOn(0)
+	if !ok {
+		t.Fatal("top subgroup has no condition")
+	}
+	if math.IsInf(it.Range.Lo, -1) || math.IsInf(it.Range.Hi, 1) {
+		t.Errorf("top subgroup %v is one-sided; a two-sided interval is optimal", it.Range)
+	}
+	// Octile boundaries cannot express (0.33, 0.66] exactly; the best
+	// expressible interval reaches a support difference around 0.77.
+	if top.Score < 0.7 {
+		t.Errorf("top score = %v, want >= 0.7", top.Score)
+	}
+}
+
+func TestConditionsEnumerateIntervals(t *testing.T) {
+	d := dataset.NewBuilder("c").
+		AddContinuous("x", []float64{1, 2, 3, 4, 5, 6, 7, 8}).
+		AddCategorical("c", []string{"a", "b", "a", "b", "a", "b", "a", "b"}).
+		SetGroups([]string{"A", "B", "A", "B", "A", "B", "A", "B"}).
+		MustBuild()
+	conds := conditions(d, 4)
+	nCat, nRange := 0, 0
+	for _, c := range conds {
+		if c.Kind == dataset.Categorical {
+			nCat++
+		} else {
+			nRange++
+			if c.Range.Empty() {
+				t.Errorf("empty candidate interval %v", c.Range)
+			}
+		}
+	}
+	if nCat != 2 {
+		t.Errorf("categorical conditions = %d, want 2", nCat)
+	}
+	// 3 distinct boundaries + 2 infinities = 5 points -> C(5,2)-1 = 9.
+	if nRange != 9 {
+		t.Errorf("range conditions = %d, want 9", nRange)
+	}
+}
+
+func TestMineWRACCFloor(t *testing.T) {
+	// Pure-noise data: no subgroup should clear the 0.01 WRACC floor by a
+	// wide margin; the pool stays small or empty.
+	d := datagen.Simulated3(4, 200)
+	res := Mine(d, Config{MinQuality: 0.2})
+	for _, c := range res.Contrasts {
+		sup := c.Supports
+		best := 0.0
+		for g := 0; g < sup.Groups(); g++ {
+			if w := sup.WRAcc(g); w > best {
+				best = w
+			}
+		}
+		if best < 0.2 {
+			t.Errorf("reported subgroup below the quality floor: %v", best)
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	d := datagen.Simulated4(5, 1000)
+	a := Mine(d, Config{})
+	b := Mine(d, Config{})
+	if len(a.Contrasts) != len(b.Contrasts) {
+		t.Fatal("non-deterministic result count")
+	}
+	for i := range a.Contrasts {
+		if a.Contrasts[i].Set.Key() != b.Contrasts[i].Set.Key() {
+			t.Fatal("non-deterministic ordering")
+		}
+	}
+}
+
+var _ = pattern.SupportDiff

@@ -1,0 +1,147 @@
+// Package topk maintains the best-k contrast list that drives the miner's
+// dynamic minimum-support threshold: until k contrasts have been found, the
+// threshold is the user's δ; afterwards it is the k-th best score, so the
+// optimistic-estimate pruning tightens as better contrasts appear (§3,
+// "Top-k pattern mining").
+package topk
+
+import (
+	"container/heap"
+
+	"sdadcs/internal/pattern"
+)
+
+// List is a bounded best-k collection of contrasts keyed by itemset, with a
+// dynamic admission threshold. The zero value is not usable; call New.
+type List struct {
+	k     int
+	delta float64
+	h     scoreHeap
+	keys  map[string]int // itemset key -> heap index
+}
+
+// New returns a list keeping the k highest-scoring contrasts, with delta as
+// the threshold floor while the list is not yet full. k <= 0 means
+// unbounded (the threshold stays at delta).
+func New(k int, delta float64) *List {
+	return &List{k: k, delta: delta, keys: make(map[string]int)}
+}
+
+// Len returns the number of stored contrasts.
+func (l *List) Len() int { return len(l.h.items) }
+
+// K returns the capacity (0 = unbounded).
+func (l *List) K() int { return l.k }
+
+// Threshold returns the current admission threshold: δ while fewer than k
+// contrasts are stored, otherwise the score of the k-th best contrast.
+func (l *List) Threshold() float64 {
+	if l.k <= 0 || len(l.h.items) < l.k {
+		return l.delta
+	}
+	return l.h.items[0].Score
+}
+
+// Add offers a contrast. A contrast is accepted if its score exceeds the
+// current threshold, or if the list still has room and the score is at
+// least δ. A contrast whose itemset is already present replaces the stored
+// entry when its score is higher. It reports whether the list changed.
+func (l *List) Add(c pattern.Contrast) bool {
+	key := c.Set.Key()
+	if idx, ok := l.keys[key]; ok {
+		if c.Score <= l.h.items[idx].Score {
+			return false
+		}
+		l.h.items[idx] = entry{Contrast: c, key: key}
+		heap.Fix(&l.h, idx)
+		l.reindex()
+		return true
+	}
+	if l.k > 0 && len(l.h.items) >= l.k {
+		if c.Score <= l.h.items[0].Score {
+			return false
+		}
+		evicted := l.h.items[0].key
+		l.h.items[0] = entry{Contrast: c, key: key}
+		delete(l.keys, evicted)
+		l.keys[key] = 0
+		heap.Fix(&l.h, 0)
+		l.reindex()
+		return true
+	}
+	if c.Score < l.delta {
+		return false
+	}
+	heap.Push(&l.h, entry{Contrast: c, key: key})
+	l.reindex()
+	return true
+}
+
+// reindex rebuilds the key -> heap index map after heap movement. The heap
+// is small (k ≤ a few hundred), so a full rebuild keeps the code simple.
+func (l *List) reindex() {
+	for i, e := range l.h.items {
+		l.keys[e.key] = i
+	}
+}
+
+// Remove deletes the contrast with the given itemset key, reporting whether
+// it was present. Used by the merging phase, which replaces specialized
+// spaces with their union.
+func (l *List) Remove(key string) bool {
+	idx, ok := l.keys[key]
+	if !ok {
+		return false
+	}
+	heap.Remove(&l.h, idx)
+	delete(l.keys, key)
+	l.reindex()
+	return true
+}
+
+// Get returns the stored contrast for an itemset key.
+func (l *List) Get(key string) (pattern.Contrast, bool) {
+	if idx, ok := l.keys[key]; ok {
+		return l.h.items[idx].Contrast, true
+	}
+	return pattern.Contrast{}, false
+}
+
+// Contrasts returns the stored contrasts sorted by descending score
+// (deterministic: ties break on itemset key).
+func (l *List) Contrasts() []pattern.Contrast {
+	out := make([]pattern.Contrast, len(l.h.items))
+	for i, e := range l.h.items {
+		out[i] = e.Contrast
+	}
+	pattern.SortContrasts(out)
+	return out
+}
+
+type entry struct {
+	pattern.Contrast
+	key string
+}
+
+// scoreHeap is a min-heap on score (worst contrast at the root) with
+// deterministic tie-breaking on the itemset key.
+type scoreHeap struct {
+	items []entry
+}
+
+func (h scoreHeap) Len() int { return len(h.items) }
+func (h scoreHeap) Less(i, j int) bool {
+	if h.items[i].Score != h.items[j].Score {
+		return h.items[i].Score < h.items[j].Score
+	}
+	return h.items[i].key > h.items[j].key
+}
+func (h scoreHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *scoreHeap) Push(x interface{}) { h.items = append(h.items, x.(entry)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,188 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sdadcs/internal/pattern"
+)
+
+func mk(attr int, lo, hi, score float64) pattern.Contrast {
+	return pattern.Contrast{
+		Set:      pattern.NewItemset(pattern.RangeItem(attr, lo, hi)),
+		Supports: pattern.CountsToSupports([]int{1, 0}, []int{10, 10}),
+		Score:    score,
+	}
+}
+
+func TestThresholdBeforeFull(t *testing.T) {
+	l := New(3, 0.1)
+	if l.Threshold() != 0.1 {
+		t.Errorf("empty threshold = %v, want delta", l.Threshold())
+	}
+	l.Add(mk(0, 0, 1, 0.5))
+	l.Add(mk(0, 1, 2, 0.3))
+	if l.Threshold() != 0.1 {
+		t.Errorf("partial threshold = %v, want delta", l.Threshold())
+	}
+	l.Add(mk(0, 2, 3, 0.7))
+	if l.Threshold() != 0.3 {
+		t.Errorf("full threshold = %v, want 0.3 (k-th best)", l.Threshold())
+	}
+}
+
+func TestAddBelowDeltaRejected(t *testing.T) {
+	l := New(3, 0.1)
+	if l.Add(mk(0, 0, 1, 0.05)) {
+		t.Error("score below delta should be rejected")
+	}
+	if l.Len() != 0 {
+		t.Error("rejected contrast stored")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	l := New(2, 0.0)
+	l.Add(mk(0, 0, 1, 0.2))
+	l.Add(mk(0, 1, 2, 0.4))
+	if !l.Add(mk(0, 2, 3, 0.6)) {
+		t.Error("better contrast should evict")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	cs := l.Contrasts()
+	if cs[0].Score != 0.6 || cs[1].Score != 0.4 {
+		t.Errorf("scores = %v, %v", cs[0].Score, cs[1].Score)
+	}
+	if l.Add(mk(0, 3, 4, 0.3)) {
+		t.Error("worse-than-threshold contrast should be rejected when full")
+	}
+}
+
+func TestDuplicateKeyReplaces(t *testing.T) {
+	l := New(5, 0.0)
+	c := mk(0, 0, 1, 0.2)
+	l.Add(c)
+	c.Score = 0.5
+	if !l.Add(c) {
+		t.Error("higher score for same itemset should replace")
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (replacement)", l.Len())
+	}
+	got, ok := l.Get(c.Set.Key())
+	if !ok || got.Score != 0.5 {
+		t.Error("Get after replace wrong")
+	}
+	c.Score = 0.1
+	if l.Add(c) {
+		t.Error("lower score for same itemset should be ignored")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := New(5, 0.0)
+	a := mk(0, 0, 1, 0.2)
+	b := mk(0, 1, 2, 0.4)
+	l.Add(a)
+	l.Add(b)
+	if !l.Remove(a.Set.Key()) {
+		t.Error("Remove existing failed")
+	}
+	if l.Remove(a.Set.Key()) {
+		t.Error("double remove should report false")
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d after remove", l.Len())
+	}
+	if _, ok := l.Get(a.Set.Key()); ok {
+		t.Error("removed key still gettable")
+	}
+	if _, ok := l.Get(b.Set.Key()); !ok {
+		t.Error("remaining key lost after remove")
+	}
+}
+
+func TestUnboundedList(t *testing.T) {
+	l := New(0, 0.1)
+	for i := 0; i < 100; i++ {
+		l.Add(mk(0, float64(i), float64(i+1), 0.2))
+	}
+	if l.Len() != 100 {
+		t.Errorf("unbounded Len = %d", l.Len())
+	}
+	if l.Threshold() != 0.1 {
+		t.Errorf("unbounded threshold = %v, want delta", l.Threshold())
+	}
+}
+
+// Property: after any sequence of inserts, the list holds exactly the k
+// highest-scoring distinct itemsets (scores at or above delta), and the
+// threshold equals the worst stored score when full.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 5
+		l := New(k, 0.1)
+		best := map[string]float64{}
+		for i := 0; i < int(n); i++ {
+			attr := rng.Intn(3)
+			lo := float64(rng.Intn(10))
+			score := rng.Float64()
+			c := mk(attr, lo, lo+1, score)
+			l.Add(c)
+			key := c.Set.Key()
+			if score >= 0.1 && score > best[key] {
+				if _, seen := best[key]; !seen || score > best[key] {
+					best[key] = score
+				}
+			}
+		}
+		var scores []float64
+		for _, s := range best {
+			scores = append(scores, s)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		if len(scores) > k {
+			scores = scores[:k]
+		}
+		got := l.Contrasts()
+		if len(got) != len(scores) {
+			return false
+		}
+		for i := range scores {
+			if got[i].Score != scores[i] {
+				return false
+			}
+		}
+		if len(got) == k && l.Threshold() != got[k-1].Score {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContrastsDeterministicOrder(t *testing.T) {
+	build := func(order []int) []pattern.Contrast {
+		l := New(4, 0.0)
+		for _, i := range order {
+			l.Add(mk(0, float64(i), float64(i+1), 0.5)) // all tied scores
+		}
+		return l.Contrasts()
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 1, 0, 2})
+	for i := range a {
+		if a[i].Set.Key() != b[i].Set.Key() {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i].Set.Key(), b[i].Set.Key())
+		}
+	}
+	_ = fmt.Sprint(a)
+}

@@ -1,0 +1,242 @@
+package sdadcs
+
+import (
+	"context"
+	"io"
+
+	"sdadcs/internal/core"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/entropy"
+	"sdadcs/internal/mvd"
+	"sdadcs/internal/pattern"
+	"sdadcs/internal/qar"
+	"sdadcs/internal/report"
+	"sdadcs/internal/stream"
+	"sdadcs/internal/stucco"
+	"sdadcs/internal/subgroup"
+)
+
+// Core data types.
+type (
+	// Dataset is an immutable columnar table with a group attribute.
+	Dataset = dataset.Dataset
+	// Builder assembles a Dataset column by column.
+	Builder = dataset.Builder
+	// View is a row subset of a Dataset.
+	View = dataset.View
+	// CSVOptions controls CSV parsing.
+	CSVOptions = dataset.CSVOptions
+	// Kind distinguishes categorical from continuous attributes.
+	Kind = dataset.Kind
+
+	// Item is one pattern condition; Itemset a conjunction of them.
+	Item = pattern.Item
+	// Itemset is a conjunction of items, at most one per attribute.
+	Itemset = pattern.Itemset
+	// Interval is a half-open range (Lo, Hi].
+	Interval = pattern.Interval
+	// Contrast is a mined pattern with its per-group supports and tests.
+	Contrast = pattern.Contrast
+	// Supports holds per-group pattern counts and group sizes.
+	Supports = pattern.Supports
+	// Measure selects the interest measure driving the search.
+	Measure = pattern.Measure
+
+	// Config controls a mining run; the zero value reproduces the paper's
+	// experimental setup (α=0.05, δ=0.1, depth 5, top-100).
+	Config = core.Config
+	// Result is a mining outcome: contrasts, meaningfulness, statistics.
+	Result = core.Result
+	// Pruning toggles the search-space reduction strategies.
+	Pruning = core.Pruning
+	// Stats reports the work a mining run performed.
+	Stats = core.Stats
+	// Meaningfulness classifies a contrast as redundant / unproductive /
+	// not independently productive.
+	Meaningfulness = core.Meaningfulness
+	// Validation is the holdout verdict for one contrast.
+	Validation = core.Validation
+	// OEMode selects the optimistic-estimate variant.
+	OEMode = core.OEMode
+)
+
+// Attribute kinds.
+const (
+	Categorical = dataset.Categorical
+	Continuous  = dataset.Continuous
+)
+
+// Interest measures.
+const (
+	// SupportDiff scores patterns by their largest between-group support
+	// difference (the paper's Eq. 2).
+	SupportDiff = pattern.SupportDiff
+	// PurityRatio scores by homogeneity (Eq. 12).
+	PurityRatio = pattern.PurityRatio
+	// SurprisingMeasure is PR × Diff (Eq. 13), the paper's qualitative
+	// default.
+	SurprisingMeasure = pattern.SurprisingMeasure
+	// WRAccMeasure is weighted relative accuracy, used by the subgroup
+	// discovery baseline.
+	WRAccMeasure = pattern.WRAccMeasure
+)
+
+// Optimistic-estimate modes.
+const (
+	// OEModePaper assumes unique real values (Eq. 6; tightest pruning).
+	OEModePaper = core.OEModePaper
+	// OEModeConservative stays admissible under ties.
+	OEModeConservative = core.OEModeConservative
+)
+
+// NewBuilder starts building a dataset.
+func NewBuilder(name string) *Builder { return dataset.NewBuilder(name) }
+
+// NewItemset builds an itemset from items (sorted canonically).
+func NewItemset(items ...Item) Itemset { return pattern.NewItemset(items...) }
+
+// CatItem builds a categorical attribute=value condition.
+func CatItem(attr, code int) Item { return pattern.CatItem(attr, code) }
+
+// RangeItem builds a continuous attribute∈(lo,hi] condition.
+func RangeItem(attr int, lo, hi float64) Item { return pattern.RangeItem(attr, lo, hi) }
+
+// FromCSV reads a headered CSV into a Dataset; columns whose values all
+// parse as numbers become continuous attributes.
+func FromCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	return dataset.FromCSV(r, opts)
+}
+
+// WriteCSV writes a dataset (attributes plus a trailing group column).
+func WriteCSV(w io.Writer, d *Dataset, groupColumn string) error {
+	return dataset.WriteCSV(w, d, groupColumn)
+}
+
+// Mine runs the SDAD-CS contrast pattern search.
+func Mine(d *Dataset, cfg Config) Result { return core.Mine(d, cfg) }
+
+// MineContext is Mine with cancellation: the search checks ctx between
+// levels and returns the (sorted, filtered) contrasts found so far plus
+// ctx.Err() when cancelled.
+func MineContext(ctx context.Context, d *Dataset, cfg Config) (Result, error) {
+	return core.MineContext(ctx, d, cfg)
+}
+
+// Classify evaluates contrasts' meaningfulness (non-redundant, productive,
+// independently productive) at significance level alpha.
+func Classify(d *Dataset, cs []Contrast, alpha float64) []Meaningfulness {
+	return core.Classify(d, cs, alpha)
+}
+
+// ValidateHoldout re-evaluates mined contrasts on held-out rows (see
+// View.StratifiedSplit): out-of-sample replication is the direct check
+// against spurious discoveries.
+func ValidateHoldout(holdout View, cs []Contrast, delta, alpha float64) []Validation {
+	return core.ValidateHoldout(holdout, cs, delta, alpha)
+}
+
+// ReplicationRate is the fraction of contrasts that replicate on a
+// holdout.
+func ReplicationRate(vs []Validation) float64 { return core.ReplicationRate(vs) }
+
+// AllPruning enables every pruning strategy (the default).
+func AllPruning() Pruning { return core.AllPruning() }
+
+// NPPruning is the "no pruning" variant used in the paper's quantitative
+// comparisons.
+func NPPruning() Pruning { return core.NPPruning() }
+
+// Baseline configurations re-exported for comparison studies.
+type (
+	// STUCCOConfig configures categorical-only contrast set mining.
+	STUCCOConfig = stucco.Config
+	// MVDConfig configures Bay's multivariate discretization.
+	MVDConfig = mvd.Config
+	// SubgroupConfig configures Cortana-style subgroup discovery.
+	SubgroupConfig = subgroup.Config
+	// QARConfig configures the Srikant–Agrawal equi-depth discretizer.
+	QARConfig = qar.Config
+)
+
+// MineSTUCCO mines contrast sets over the categorical attributes only
+// (Bay & Pazzani's STUCCO), or over pre-binned data.
+func MineSTUCCO(d *Dataset, cfg STUCCOConfig) []Contrast {
+	return stucco.Mine(d, cfg).Contrasts
+}
+
+// MineMVD discretizes with Bay's MVD and mines the binned data. The
+// returned dataset is the binned copy the contrasts refer to.
+func MineMVD(d *Dataset, cfg MVDConfig, search STUCCOConfig) ([]Contrast, *Dataset) {
+	res := mvd.Mine(d, cfg, search)
+	return res.Contrasts, res.Binned
+}
+
+// MineEntropy discretizes with Fayyad–Irani MDLP and mines the binned
+// data. The returned dataset is the binned copy the contrasts refer to.
+func MineEntropy(d *Dataset, search STUCCOConfig) ([]Contrast, *Dataset) {
+	res := entropy.Mine(d, search)
+	return res.Contrasts, res.Binned
+}
+
+// MineSubgroups runs Cortana-style beam-search subgroup discovery (WRACC,
+// interval conditions), pooling subgroups from every target group.
+func MineSubgroups(d *Dataset, cfg SubgroupConfig) []Contrast {
+	return subgroup.Mine(d, cfg).Contrasts
+}
+
+// MineQAR discretizes with Srikant & Agrawal's equi-depth partitioning
+// (consecutive partitions below minsup merged) and mines the binned data —
+// the quantitative-association-rules approach the paper's §2 discusses.
+func MineQAR(d *Dataset, cfg QARConfig, search STUCCOConfig) ([]Contrast, *Dataset) {
+	res := qar.Mine(d, cfg, search)
+	return res.Contrasts, res.Binned
+}
+
+// Discretized applies cut points to continuous attributes, yielding a
+// categorical copy of the dataset (used by the global pre-binning
+// baselines and available for custom pipelines).
+func Discretized(d *Dataset, cuts map[int][]float64) *Dataset {
+	return dataset.Discretized(d, cuts)
+}
+
+// Streaming types re-exported from internal/stream: a sliding-window
+// contrast monitor for the "timely feedback" deployment of §1/§6.
+type (
+	// StreamSchema declares a stream's columns.
+	StreamSchema = stream.Schema
+	// StreamConfig controls the monitor (window size, re-mine cadence,
+	// alerting floor).
+	StreamConfig = stream.Config
+	// StreamEvent is one reported pattern change.
+	StreamEvent = stream.Event
+	// StreamMonitor tracks contrast patterns over a sliding window.
+	StreamMonitor = stream.Monitor
+)
+
+// Stream event kinds.
+const (
+	StreamAppeared    = stream.Appeared
+	StreamDisappeared = stream.Disappeared
+	StreamDrifted     = stream.Drifted
+)
+
+// NewStreamMonitor builds a sliding-window contrast pattern monitor.
+func NewStreamMonitor(schema StreamSchema, cfg StreamConfig) *StreamMonitor {
+	return stream.NewMonitor(schema, cfg)
+}
+
+// ReportFormat names an output renderer for WriteReport.
+type ReportFormat = report.Format
+
+// Output formats for WriteReport.
+const (
+	ReportText     = report.FormatText
+	ReportMarkdown = report.FormatMarkdown
+	ReportCSV      = report.FormatCSV
+	ReportJSON     = report.FormatJSON
+)
+
+// WriteReport renders mined contrasts as text, Markdown, CSV or JSON.
+func WriteReport(w io.Writer, format ReportFormat, d *Dataset, cs []Contrast) error {
+	return report.Write(w, format, d, cs)
+}

@@ -1,0 +1,191 @@
+package sdadcs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdadcs"
+)
+
+const csvData = `x,y,label
+0.1,0.9,A
+0.2,0.8,A
+0.3,0.7,A
+0.4,0.6,A
+0.9,0.1,B
+0.8,0.2,B
+0.7,0.3,B
+0.6,0.4,B
+0.15,0.85,A
+0.25,0.75,A
+0.35,0.65,A
+0.45,0.55,A
+0.95,0.05,B
+0.85,0.15,B
+0.75,0.25,B
+0.65,0.35,B
+0.12,0.88,A
+0.22,0.78,A
+0.32,0.68,A
+0.42,0.58,A
+0.92,0.08,B
+0.82,0.18,B
+0.72,0.28,B
+0.62,0.38,B
+`
+
+func loadSample(t *testing.T) *sdadcs.Dataset {
+	t.Helper()
+	d, err := sdadcs.FromCSV(strings.NewReader(csvData), sdadcs.CSVOptions{GroupColumn: "label"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d := loadSample(t)
+	res := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})
+	if len(res.Contrasts) == 0 {
+		t.Fatal("no contrasts via the public API")
+	}
+	top := res.Contrasts[0]
+	if top.Score < 0.9 {
+		t.Errorf("top score = %v, want near 1 (perfectly separable)", top.Score)
+	}
+	if s := top.Format(d); !strings.Contains(s, "supp") {
+		t.Errorf("Format = %q", s)
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	d, err := sdadcs.NewBuilder("built").
+		AddContinuous("v", []float64{1, 2, 3, 10, 11, 12}).
+		AddCategorical("c", []string{"a", "a", "a", "b", "b", "b"}).
+		SetGroups([]string{"G1", "G1", "G1", "G2", "G2", "G2"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 6 || d.NumAttrs() != 2 {
+		t.Error("builder shape wrong")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	d := loadSample(t)
+
+	cs := sdadcs.MineSubgroups(d, sdadcs.SubgroupConfig{})
+	if len(cs) == 0 {
+		t.Error("subgroup baseline found nothing")
+	}
+	ecs, binned := sdadcs.MineEntropy(d, sdadcs.STUCCOConfig{})
+	if binned == nil {
+		t.Fatal("entropy baseline returned no binned dataset")
+	}
+	if len(ecs) == 0 {
+		t.Error("entropy baseline found nothing on separable data")
+	}
+	// MVD on 24 rows with default 100-row bins cannot split; it must not
+	// crash and returns no contrasts.
+	mcs, mbinned := sdadcs.MineMVD(d, sdadcs.MVDConfig{BinSize: 4}, sdadcs.STUCCOConfig{})
+	if mbinned == nil {
+		t.Fatal("MVD baseline returned no binned dataset")
+	}
+	_ = mcs
+	// Partitions=2 keeps each bin's expected cell count above the
+	// chi-square validity floor on this 24-row sample.
+	qcs, qbinned := sdadcs.MineQAR(d, sdadcs.QARConfig{Partitions: 2}, sdadcs.STUCCOConfig{})
+	if qbinned == nil {
+		t.Fatal("QAR baseline returned no binned dataset")
+	}
+	if len(qcs) == 0 {
+		t.Error("QAR baseline found nothing on separable data")
+	}
+}
+
+func TestPublicAPIClassify(t *testing.T) {
+	d := loadSample(t)
+	res := sdadcs.Mine(d, sdadcs.Config{SkipMeaningfulFilter: true})
+	ms := sdadcs.Classify(d, res.Contrasts, 0.05)
+	if len(ms) != len(res.Contrasts) {
+		t.Fatal("classification length mismatch")
+	}
+}
+
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	d := loadSample(t)
+	var buf bytes.Buffer
+	if err := sdadcs.WriteCSV(&buf, d, "label"); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sdadcs.FromCSV(&buf, sdadcs.CSVOptions{GroupColumn: "label"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Rows() != d.Rows() {
+		t.Error("round trip changed rows")
+	}
+}
+
+func TestPublicAPIItemConstructors(t *testing.T) {
+	d, err := sdadcs.NewBuilder("ctor").
+		AddContinuous("x", []float64{1, 2, 3, 4}).
+		AddCategorical("c", []string{"a", "b", "a", "b"}).
+		SetGroups([]string{"A", "A", "B", "B"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sdadcs.NewItemset(sdadcs.RangeItem(0, 0, 2.5), sdadcs.CatItem(1, 0))
+	if set.Len() != 2 {
+		t.Fatal("itemset construction failed")
+	}
+	if got := set.Format(d); !strings.Contains(got, "c = a") {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestPublicAPISTUCCOAndDiscretized(t *testing.T) {
+	d := loadSample(t)
+	binned := sdadcs.Discretized(d, map[int][]float64{0: {0.5}, 1: {0.5}})
+	cs := sdadcs.MineSTUCCO(binned, sdadcs.STUCCOConfig{})
+	if len(cs) == 0 {
+		t.Error("STUCCO on binned separable data found nothing")
+	}
+}
+
+func TestPublicAPIStreamMonitor(t *testing.T) {
+	m := sdadcs.NewStreamMonitor(
+		sdadcs.StreamSchema{Name: "s", Continuous: []string{"x"}},
+		sdadcs.StreamConfig{WindowSize: 200, MineEvery: 100},
+	)
+	for i := 0; i < 300; i++ {
+		group := "A"
+		if i%2 == 0 {
+			group = "B"
+		}
+		x := float64(i % 10)
+		if group == "A" {
+			x += 10
+		}
+		if _, err := m.Append([]float64{x}, nil, group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Mines() == 0 {
+		t.Error("monitor never mined")
+	}
+	if len(m.Current()) == 0 {
+		t.Error("no current patterns on separable stream")
+	}
+}
+
+func TestPruningPresets(t *testing.T) {
+	all := sdadcs.AllPruning()
+	np := sdadcs.NPPruning()
+	if !all.RedundancyCLT || np.RedundancyCLT {
+		t.Error("presets wrong")
+	}
+}
