@@ -270,3 +270,40 @@ func BenchmarkMineCSVPipeline(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMineMetrics is the paired observability benchmark: the same
+// census-scale mining run without instrumentation (the default path — a
+// nil recorder compiles to one pointer check per record site) and with a
+// live metrics recorder. The disabled variant must stay within noise of
+// the pre-instrumentation BenchmarkMine numbers; the enabled variant
+// additionally reports per-level timings and per-rule prune counts.
+func BenchmarkMineMetrics(b *testing.B) {
+	d, attrs := ablationData()
+	cfg := func() core.Config {
+		return core.Config{Attrs: attrs, MaxDepth: 2, SkipMeaningfulFilter: true}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.Mine(d, cfg())
+			if res.Metrics != nil {
+				b.Fatal("metrics snapshot on uninstrumented run")
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var snap *sdadcs.MetricsSnapshot
+		for i := 0; i < b.N; i++ {
+			c := cfg()
+			c.Metrics = sdadcs.NewMetricsRecorder()
+			snap = core.Mine(d, c).Metrics
+		}
+		if snap == nil || len(snap.Levels) == 0 {
+			b.Fatal("no per-level timings recorded")
+		}
+		if snap.TotalPruned() == 0 {
+			b.Fatal("no per-rule prune counts recorded")
+		}
+		b.ReportMetric(float64(snap.TotalPruned()), "prune-hits")
+		b.ReportMetric(float64(snap.Levels[0].WallNanos), "level1-ns")
+	})
+}

@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", 1, "parallel workers for per-level mining")
 		forceCat = fs.String("categorical", "", "comma-separated columns to force categorical")
 		format   = fs.String("format", "text", "output format: text | markdown | csv | json")
+		metricsF = fs.Bool("metrics", false, "collect pipeline metrics and dump a JSON snapshot to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,7 +88,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *np {
 		cfg = cfg.NP()
 	}
+	var rec *sdadcs.MetricsRecorder
+	if *metricsF {
+		rec = sdadcs.NewMetricsRecorder()
+		cfg.Metrics = rec
+	}
 	res := sdadcs.Mine(d, cfg)
+	if rec != nil {
+		// Stderr keeps the report stream on stdout machine-readable.
+		if err := sdadcs.WriteMetrics(stderr, rec); err != nil {
+			fmt.Fprintln(stderr, "contrast: writing metrics:", err)
+		}
+	}
 
 	if *format == "text" {
 		fmt.Fprintf(stdout, "dataset: %d rows, %d attributes, %d groups\n",

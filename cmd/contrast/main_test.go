@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sdadcs"
 )
 
 func writeCSV(t *testing.T) string {
@@ -126,5 +129,32 @@ func TestRunForceCategorical(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "x = ") {
 		t.Error("forced-categorical attribute should appear as equality items")
+	}
+}
+
+func TestRunMetricsFlag(t *testing.T) {
+	path := writeCSV(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "label", "-metrics"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errBuf.String())
+	}
+	var snap sdadcs.MetricsSnapshot
+	if err := json.Unmarshal(errBuf.Bytes(), &snap); err != nil {
+		t.Fatalf("-metrics stderr is not snapshot JSON: %v\n%s", err, errBuf.String())
+	}
+	if len(snap.Levels) == 0 {
+		t.Errorf("snapshot has no per-level data: %s", errBuf.String())
+	}
+	if len(snap.Prune) == 0 {
+		t.Errorf("snapshot has no prune counters: %s", errBuf.String())
+	}
+	// Without the flag, stderr stays silent.
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "label"}, &out2, &err2); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if err2.Len() != 0 {
+		t.Errorf("stderr not empty without -metrics: %s", err2.String())
 	}
 }

@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"sdadcs"
 )
@@ -36,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		every    = fs.Int("every", 0, "re-mine cadence in rows (0 = window/4)")
 		minScore = fs.Float64("minscore", 0.2, "alerting floor for appear/disappear events")
 		depth    = fs.Int("depth", 2, "maximum attributes per pattern")
+		metricsA = fs.String("metrics", "", "serve live pipeline metrics as JSON on this address (e.g. :8080; GET /metrics)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +97,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Live metrics endpoint: the recorder is shared with the miner, so a
+	// GET /metrics during the replay sees counters moving in real time.
+	var mrec *sdadcs.MetricsRecorder
+	if *metricsA != "" {
+		mrec = sdadcs.NewMetricsRecorder()
+		ln, lerr := net.Listen("tcp", *metricsA)
+		if lerr != nil {
+			fmt.Fprintln(stderr, "monitor: metrics listener:", lerr)
+			return 1
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", sdadcs.MetricsHandler(mrec))
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(stderr, "monitor: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	m := sdadcs.NewStreamMonitor(schema, sdadcs.StreamConfig{
 		WindowSize:    *window,
 		MineEvery:     *every,
@@ -100,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Mining: sdadcs.Config{
 			Measure:  sdadcs.SurprisingMeasure,
 			MaxDepth: *depth,
+			Metrics:  mrec,
 		},
 	})
 
@@ -145,5 +169,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "replayed %d rows, %d windows mined, %d events\n",
 		rows, m.Mines(), events)
+	if mrec != nil {
+		snap := mrec.Snapshot()
+		fmt.Fprintf(stdout, "re-mine latency: %d windows, mean %s, max %s\n",
+			snap.Remine.Count, snap.Remine.Mean(),
+			time.Duration(snap.Remine.MaxNanos))
+	}
 	return 0
 }

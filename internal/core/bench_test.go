@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sdadcs/internal/datagen"
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 )
 
@@ -64,4 +65,22 @@ func BenchmarkPruneTableSubsetLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		table.hasPrunedSubset(set)
 	}
+}
+
+// BenchmarkMineMixedMetrics pairs BenchmarkMineMixed with and without a
+// recorder, proving the disabled path stays benchmark-neutral and the
+// enabled path's overhead is bounded.
+func BenchmarkMineMixedMetrics(b *testing.B) {
+	d := datagen.Adult(datagen.AdultConfig{Seed: 1, Bachelors: 2000, Doctorate: 300})
+	attrs := []int{d.AttrIndex("age"), d.AttrIndex("hours_per_week"), d.AttrIndex("occupation")}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Mine(d, Config{Attrs: attrs, MaxDepth: 2})
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Mine(d, Config{Attrs: attrs, MaxDepth: 2, Metrics: metrics.New()})
+		}
+	})
 }

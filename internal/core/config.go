@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 )
 
@@ -116,6 +117,18 @@ type Config struct {
 	// Workers > 1 mines each level's combinations in parallel (§6's
 	// scaling strategy). Results are merged deterministically.
 	Workers int
+	// Metrics, when non-nil, receives live instrumentation from the hot
+	// path: per-level node counts and wall times, per-rule prune hits,
+	// SDAD-CS split/box/merge counters and top-k threshold updates. The
+	// final snapshot is also attached to Result.Metrics. nil (the
+	// default) disables instrumentation at near-zero cost — every record
+	// site is guarded by a single pointer check.
+	Metrics *metrics.Recorder
+	// PprofLabels annotates per-level worker goroutines with pprof labels
+	// (sdadcs_level, sdadcs_worker) so CPU profiles attribute samples to
+	// search levels. Off by default: labels cost a map allocation per
+	// goroutine spawn.
+	PprofLabels bool
 }
 
 func (c *Config) defaults() {
@@ -203,4 +216,7 @@ type Result struct {
 	// (parallel to Contrasts) when the filter ran; nil otherwise.
 	Meaning []Meaningfulness
 	Stats   Stats
+	// Metrics is the instrumentation snapshot taken when the run
+	// finished; nil unless Config.Metrics was set.
+	Metrics *metrics.Snapshot
 }

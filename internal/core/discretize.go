@@ -25,7 +25,7 @@ func JointDiscretize(d *dataset.Dataset, contAttrs []int, context pattern.Itemse
 			panic("core: JointDiscretize requires continuous attributes")
 		}
 	}
-	list := topk.New(cfg.TopK, cfg.scoreFloor())
+	list := topk.New(cfg.TopK, cfg.scoreFloor()).WithRecorder(cfg.Metrics)
 	run := &sdadRun{
 		d:         d,
 		cfg:       &cfg,
@@ -37,6 +37,7 @@ func JointDiscretize(d *dataset.Dataset, contAttrs []int, context pattern.Itemse
 		table:     make(pruneTable),
 		sizes:     d.GroupSizes(),
 		totalRows: d.Rows(),
+		rec:       cfg.Metrics,
 	}
 	for _, c := range run.run(context, context.Cover(d.All())) {
 		list.Add(c)

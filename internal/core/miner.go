@@ -2,9 +2,13 @@ package core
 
 import (
 	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
 	"sdadcs/internal/topk"
@@ -33,9 +37,10 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 		cfg:   &cfg,
 		prune: cfg.pruning(),
 		sizes: d.GroupSizes(),
-		list:  topk.New(cfg.TopK, cfg.scoreFloor()),
+		list:  topk.New(cfg.TopK, cfg.scoreFloor()).WithRecorder(cfg.Metrics),
 		table: make(pruneTable),
 		memo:  newSupportMemo(d),
+		rec:   cfg.Metrics,
 	}
 	attrs := cfg.Attrs
 	if attrs == nil {
@@ -61,7 +66,7 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 				break
 			}
 			alpha := schedule.LevelAlpha(len(frontier))
-			survivors := m.processLevel(frontier, alpha)
+			survivors := m.processLevel(level, frontier, alpha)
 			if level == cfg.MaxDepth {
 				break
 			}
@@ -73,6 +78,7 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 	res := Result{Stats: m.stats}
 	if cfg.SkipMeaningfulFilter {
 		res.Contrasts = contrasts
+		res.Metrics = m.snapshot()
 		return res, interrupted
 	}
 	meaning := Classify(d, contrasts, cfg.Alpha)
@@ -84,6 +90,7 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 			res.Stats.FilteredOut++
 		}
 	}
+	res.Metrics = m.snapshot()
 	return res, interrupted
 }
 
@@ -97,6 +104,20 @@ type miner struct {
 	table pruneTable
 	memo  *supportMemo
 	stats Stats
+	// rec is the optional instrumentation sink (nil = disabled). It is
+	// shared with every per-level worker goroutine; all its operations
+	// are atomic.
+	rec *metrics.Recorder
+}
+
+// snapshot captures the final metrics state for Result, or nil when
+// instrumentation is disabled.
+func (m *miner) snapshot() *metrics.Snapshot {
+	if m.rec == nil {
+		return nil
+	}
+	s := m.rec.Snapshot()
+	return &s
 }
 
 // node is one entry of the combination frontier: a categorical value
@@ -186,25 +207,41 @@ func (m *miner) expand(nodes []node, attrs []int) []node {
 // cfg.Workers > 1 (the §6 scaling strategy) — then applies the buffered
 // lookup-table inserts and top-k additions in node order, so results are
 // identical for any worker count.
-func (m *miner) processLevel(frontier []node, alpha float64) []node {
+func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 	threshold := m.list.Threshold()
 	outcomes := make([]nodeOutcome, len(frontier))
 
+	var levelStart time.Time
+	if m.rec.Enabled() {
+		levelStart = time.Now()
+	}
+
 	if m.cfg.Workers <= 1 {
 		for i := range frontier {
-			outcomes[i] = m.evaluate(frontier[i], alpha, threshold)
+			outcomes[i] = m.evaluateTimed(level, frontier[i], alpha, threshold)
 		}
 	} else {
 		var wg sync.WaitGroup
 		work := make(chan int)
 		for w := 0; w < m.cfg.Workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
-				for i := range work {
-					outcomes[i] = m.evaluate(frontier[i], alpha, threshold)
+				loop := func() {
+					for i := range work {
+						outcomes[i] = m.evaluateTimed(level, frontier[i], alpha, threshold)
+					}
 				}
-			}()
+				if m.cfg.PprofLabels {
+					labels := pprof.Labels(
+						"sdadcs_level", strconv.Itoa(level),
+						"sdadcs_worker", strconv.Itoa(worker),
+					)
+					pprof.Do(context.Background(), labels, func(context.Context) { loop() })
+				} else {
+					loop()
+				}
+			}(w)
 		}
 		for i := range frontier {
 			work <- i
@@ -214,8 +251,10 @@ func (m *miner) processLevel(frontier []node, alpha float64) []node {
 	}
 
 	var survivors []node
+	contrasts := 0
 	for i, o := range outcomes {
 		m.stats.add(o.stats)
+		contrasts += len(o.contrasts)
 		for _, c := range o.contrasts {
 			m.list.Add(c)
 		}
@@ -226,7 +265,23 @@ func (m *miner) processLevel(frontier []node, alpha float64) []node {
 			survivors = append(survivors, frontier[i])
 		}
 	}
+	if m.rec.Enabled() {
+		m.rec.LevelObserve(level, len(frontier), len(survivors), contrasts,
+			m.cfg.Workers, time.Since(levelStart))
+	}
 	return survivors
+}
+
+// evaluateTimed wraps evaluate with the per-node latency observation; the
+// disabled-recorder path skips both clock reads.
+func (m *miner) evaluateTimed(level int, nd node, alpha, threshold float64) nodeOutcome {
+	if m.rec == nil {
+		return m.evaluate(nd, alpha, threshold)
+	}
+	start := time.Now()
+	o := m.evaluate(nd, alpha, threshold)
+	m.rec.NodeEval(level, time.Since(start))
+	return o
 }
 
 // mineDFS explores nodes pre-order: each node is evaluated and its
@@ -234,7 +289,7 @@ func (m *miner) processLevel(frontier []node, alpha float64) []node {
 // top-k additions apply immediately.
 func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 	for _, nd := range nodes {
-		o := m.evaluate(nd, alpha, m.list.Threshold())
+		o := m.evaluateTimed(level, nd, alpha, m.list.Threshold())
 		m.stats.add(o.stats)
 		for _, c := range o.contrasts {
 			m.list.Add(c)
@@ -267,6 +322,7 @@ func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
 		table:     m.table,
 		sizes:     m.sizes,
 		totalRows: m.d.Rows(),
+		rec:       m.rec,
 	}
 	contrasts := run.run(nd.catSet, nd.catCover)
 	return nodeOutcome{
@@ -281,13 +337,14 @@ func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
 func (m *miner) evaluateCategorical(nd node, alpha float64) nodeOutcome {
 	var o nodeOutcome
 	if m.prune.LookupTable && m.table.hasPrunedSubset(nd.catSet) {
+		m.rec.PruneHit(metrics.PruneLookupTable)
 		o.stats.SpacesPruned++
 		return o
 	}
 	o.stats.PartitionsEvaluated++
 	sup := pattern.CountsToSupports(nd.catCover.GroupCounts(), m.sizes)
 	dec := evaluatePruning(m.prune, nd.catSet, sup, m.cfg.Delta, alpha,
-		m.d.Rows(), m.memo.supports)
+		m.d.Rows(), m.memo.supports, m.rec)
 	if dec.record && m.prune.LookupTable {
 		o.inserts = append(o.inserts, nd.catSet.Key())
 	}

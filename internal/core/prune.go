@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
 )
@@ -56,30 +57,37 @@ type pruneDecision struct {
 // sup holds the space's per-group supports; set its itemset. The CLT
 // redundancy rule compares the space's support difference against each
 // subset obtained by dropping one item (Eq. 14–16); subset supports are
-// provided by the memoizing suppOf callback.
+// provided by the memoizing suppOf callback. rec (nil = disabled) counts
+// which rule fired; it is safe for concurrent use, so this function stays
+// callable from parallel per-level workers.
 func evaluatePruning(p Pruning, set pattern.Itemset, sup pattern.Supports,
 	delta, alpha float64, totalRows int,
-	suppOf func(pattern.Itemset) pattern.Supports) pruneDecision {
+	suppOf func(pattern.Itemset) pattern.Supports,
+	rec *metrics.Recorder) pruneDecision {
 
 	// Minimum deviation size: no group reaches δ, so neither this space
 	// nor any specialization can be a large contrast.
 	if p.MinDeviation && !sup.LargeIn(delta) {
+		rec.PruneHit(metrics.PruneMinDeviation)
 		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
 	}
 	// Expected count: statistical tests are invalid below an expected
 	// cell count of 5, and specializations only shrink counts.
 	if p.ExpectedCount && expectedBelow5(sup, totalRows) {
+		rec.PruneHit(metrics.PruneExpectedCount)
 		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
 	}
 	// CLT redundancy: the support difference is statistically the same as
 	// a subset's, so this space (and its supersets) add nothing.
 	if p.RedundancyCLT && set.Len() >= 2 && redundantByCLT(set, sup, alpha, suppOf) {
+		rec.PruneHit(metrics.PruneRedundancyCLT)
 		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
 	}
 	var d pruneDecision
 	// Pure space: PR = 1 means one group is absent; the space itself is a
 	// fine contrast but adding attributes only produces redundant ones.
 	if p.PureSpace && sup.PR() >= 1 && sup.TotalCount() > 0 {
+		rec.PruneHit(metrics.PrunePureSpace)
 		d.skipChildren = true
 		d.record = true
 	}
@@ -89,6 +97,7 @@ func evaluatePruning(p Pruning, set pattern.Itemset, sup pattern.Supports,
 		bound := stats.ChiSquareOptimistic(sup.Count, sup.Size)
 		crit := stats.ChiSquareQuantile(1-alpha, len(sup.Size)-1)
 		if bound < crit {
+			rec.PruneHit(metrics.PruneChiSquareOE)
 			d.skipChildren = true
 		}
 	}

@@ -57,7 +57,7 @@ func TestEvaluatePruningMinDeviation(t *testing.T) {
 	memo := newSupportMemo(d)
 	set := pattern.NewItemset(pattern.RangeItem(0, 0, 10))
 	sup := pattern.SupportsOf(set, d.All()) // ~5% support in A only
-	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports)
+	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil)
 	if !dec.skipChildren || !dec.skipContrast || !dec.record {
 		t.Errorf("low-support space should fully prune: %+v", dec)
 	}
@@ -71,7 +71,7 @@ func TestEvaluatePruningPureSpace(t *testing.T) {
 	if sup.PR() != 1 {
 		t.Fatalf("setup: PR = %v", sup.PR())
 	}
-	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports)
+	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil)
 	if !dec.skipChildren {
 		t.Error("pure space must not be extended")
 	}
@@ -88,7 +88,7 @@ func TestEvaluatePruningDisabled(t *testing.T) {
 	memo := newSupportMemo(d)
 	set := pattern.NewItemset(pattern.RangeItem(0, 0, 10))
 	sup := pattern.SupportsOf(set, d.All())
-	dec := evaluatePruning(Pruning{}, set, sup, 0.1, 0.05, d.Rows(), memo.supports)
+	dec := evaluatePruning(Pruning{}, set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil)
 	if dec.skipChildren || dec.skipContrast || dec.record {
 		t.Errorf("disabled pruning should pass everything: %+v", dec)
 	}

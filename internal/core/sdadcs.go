@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
 )
@@ -26,12 +27,16 @@ type sdadRun struct {
 	alive     bool     // at least one space survived pruning
 	sizes     []int
 	totalRows int
+	// rec is the optional instrumentation sink (nil = disabled); shared
+	// across concurrent runs, so only atomic operations.
+	rec *metrics.Recorder
 }
 
 // run executes Algorithm 1 for the given categorical context and returns
 // the contrast spaces found (after bottom-up merging).
 func (r *sdadRun) run(catSet pattern.Itemset, catCover dataset.View) []pattern.Contrast {
 	r.stats.SDADCalls++
+	r.rec.SDADCall()
 	d := r.explore(catCover, catSet, 1, 0)
 	d = r.merge(d)
 	return d
@@ -49,7 +54,7 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 	// partition(ca): split each attribute at the view's median, within the
 	// box's current range.
 	choices := make([][]pattern.Interval, 0, len(r.contAttrs))
-	splittable := false
+	splits := 0
 	for _, attr := range r.contAttrs {
 		cur := currentRange(box, attr)
 		med := view.Median(attr)
@@ -59,14 +64,15 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 				{Lo: cur.Lo, Hi: med},
 				{Lo: med, Hi: cur.Hi},
 			})
-			splittable = true
+			splits++
 		} else {
 			choices = append(choices, []pattern.Interval{cur})
 		}
 	}
-	if !splittable {
+	if splits == 0 {
 		return nil
 	}
+	r.rec.Splits(splits)
 
 	// Assign every view row to its space in a single pass: the interval
 	// choices partition each attribute's current range, so each row lands
@@ -75,6 +81,7 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 	for _, ch := range choices {
 		totalSpaces *= len(ch)
 	}
+	r.rec.BoxesExplored(totalSpaces)
 	spaceRows := make([][]int, totalSpaces)
 	n := view.Len()
 	for i := 0; i < n; i++ {
@@ -146,6 +153,7 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 
 	// Lookup-table check (Line 7).
 	if r.prune.LookupTable && r.table.hasPrunedSubset(childBox) {
+		r.rec.PruneHit(metrics.PruneLookupTable)
 		r.stats.SpacesPruned++
 		return
 	}
@@ -158,7 +166,7 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 
 	// Pruning rules (§4.3).
 	dec := evaluatePruning(r.prune, childBox, sup, r.cfg.Delta, r.alpha,
-		r.totalRows, r.memo.supports)
+		r.totalRows, r.memo.supports, r.rec)
 	if dec.record && r.prune.LookupTable {
 		r.inserts = append(r.inserts, childBox.Key())
 	}
@@ -179,6 +187,8 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 				*contrasts = append(*contrasts, child...)
 				explored = true
 			}
+		} else {
+			r.rec.PruneHit(metrics.PruneOptimisticEstimate)
 		}
 	}
 	if dec.skipContrast || (explored && !r.cfg.RecordExploredSpaces) {
@@ -240,11 +250,13 @@ func (r *sdadRun) merge(d []pattern.Contrast) []pattern.Contrast {
 	outer:
 		for i := 0; i < len(spaces); i++ {
 			for j := i + 1; j < len(spaces); j++ {
+				r.rec.MergeAttempt()
 				u, ok := r.tryMerge(spaces[i], spaces[j])
 				if !ok {
 					continue
 				}
 				r.stats.MergeOps++
+				r.rec.MergeOp()
 				// Replace the pair with the union, keep volume order.
 				spaces = append(spaces[:j], spaces[j+1:]...)
 				spaces = append(spaces[:i], spaces[i+1:]...)

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers durations from <1ns up to ~9 hours in log2 steps:
+// bucket i counts observations in [2^(i-1), 2^i) nanoseconds (bucket 0
+// is <1ns, the last bucket is open-ended).
+const numBuckets = 45
+
+// Histogram is a lock-free log2-bucketed duration histogram. The zero
+// value is ready to use; it may be updated from any number of goroutines.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	total   atomic.Int64
+}
+
+// bucketIndex maps a duration to its log2 bucket.
+func bucketIndex(d time.Duration) int {
+	n := int64(d)
+	if n <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(n)) // [2^(idx-1), 2^idx)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	if n := int64(d); n > 0 {
+		h.total.Add(n)
+	}
+}
+
+// BucketCount is one non-empty histogram bucket: observations with
+// durations in [Lo, Hi) nanoseconds.
+type BucketCount struct {
+	LoNanos int64 `json:"lo_ns"`
+	HiNanos int64 `json:"hi_ns"` // 0 = open-ended (last bucket)
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is a copy of a histogram's state. Only non-empty
+// buckets appear, in ascending duration order, keeping the JSON compact
+// and its shape deterministic.
+type HistogramSnapshot struct {
+	Count      int64         `json:"count"`
+	TotalNanos int64         `json:"total_ns"`
+	Buckets    []BucketCount `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observed duration, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalNanos / s.Count)
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:      h.count.Load(),
+		TotalNanos: h.total.Load(),
+	}
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		b := BucketCount{Count: c}
+		if i > 0 {
+			b.LoNanos = int64(1) << uint(i-1)
+		}
+		if i < numBuckets-1 {
+			b.HiNanos = int64(1) << uint(i)
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+)
+
+// WriteJSON marshals the recorder's snapshot (indented, expvar-style) to
+// w. A nil recorder writes the empty snapshot.
+func WriteJSON(w io.Writer, r *Recorder) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the recorder's snapshot as JSON — the live endpoint
+// cmd/monitor exposes. Safe to query while mining is in progress: the
+// snapshot is built from atomic loads.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, r)
+	})
+}
+
+// Publish registers the recorder under the given name in the process-wide
+// expvar registry (visible at /debug/vars alongside memstats). expvar
+// panics on duplicate names, so Publish is a no-op when the name is taken.
+func Publish(name string, r *Recorder) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -14,6 +14,7 @@ package stream
 
 import (
 	"fmt"
+	"time"
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
@@ -212,13 +213,23 @@ func (m *Monitor) Current() []pattern.Contrast { return m.current }
 // CurrentData returns the dataset the current patterns refer to.
 func (m *Monitor) CurrentData() *dataset.Dataset { return m.curData }
 
-// remine mines the window and diffs against the previous pattern set.
+// remine mines the window and diffs against the previous pattern set. When
+// the mining config carries a metrics recorder, the window's re-mine wall
+// time is observed — the latency of "timely feedback" itself.
 func (m *Monitor) remine() ([]Event, error) {
 	d := m.Snapshot()
 	if d == nil {
 		return nil, nil
 	}
+	rec := m.cfg.Mining.Metrics
+	var start time.Time
+	if rec.Enabled() {
+		start = time.Now()
+	}
 	res := core.Mine(d, m.cfg.Mining)
+	if rec.Enabled() {
+		rec.RemineObserve(time.Since(start))
+	}
 	m.mines++
 	events := m.diff(d, res.Contrasts)
 	m.current = res.Contrasts

@@ -6,6 +6,7 @@ import (
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 )
 
@@ -210,5 +211,34 @@ func TestEventKindString(t *testing.T) {
 	}
 	if EventKind(9).String() == "" {
 		t.Error("unknown kind should render")
+	}
+}
+
+// TestRemineLatencyRecorded: a recorder on the mining config observes one
+// latency sample per window re-mine.
+func TestRemineLatencyRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rec := metrics.New()
+	m := NewMonitor(lineSchema(), Config{
+		WindowSize: 400,
+		MineEvery:  200,
+		Mining: core.Config{
+			Measure: pattern.SurprisingMeasure, MaxDepth: 2, Metrics: rec,
+		},
+	})
+	feed(t, m, rng, 900, true)
+	if m.Mines() == 0 {
+		t.Fatal("no re-mines happened")
+	}
+	s := rec.Snapshot()
+	if s.Remine.Count != int64(m.Mines()) {
+		t.Errorf("remine observations = %d, want %d (one per mine)", s.Remine.Count, m.Mines())
+	}
+	if s.Remine.TotalNanos <= 0 || s.Remine.MaxNanos < s.Remine.MinNanos {
+		t.Errorf("remine timer inconsistent: %+v", s.Remine)
+	}
+	// The combination-search counters flow through from core as well.
+	if len(s.Levels) == 0 {
+		t.Error("no per-level data from windowed mining")
 	}
 }

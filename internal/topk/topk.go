@@ -8,6 +8,7 @@ package topk
 import (
 	"container/heap"
 
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 )
 
@@ -18,6 +19,7 @@ type List struct {
 	delta float64
 	h     scoreHeap
 	keys  map[string]int // itemset key -> heap index
+	rec   *metrics.Recorder
 }
 
 // New returns a list keeping the k highest-scoring contrasts, with delta as
@@ -25,6 +27,15 @@ type List struct {
 // unbounded (the threshold stays at delta).
 func New(k int, delta float64) *List {
 	return &List{k: k, delta: delta, keys: make(map[string]int)}
+}
+
+// WithRecorder attaches an instrumentation sink that observes admission-
+// threshold changes — the dynamic tightening the §3 top-k strategy feeds
+// into the optimistic-estimate pruning. nil (the default) disables the
+// observation. Returns the list for chaining.
+func (l *List) WithRecorder(r *metrics.Recorder) *List {
+	l.rec = r
+	return l
 }
 
 // Len returns the number of stored contrasts.
@@ -47,6 +58,18 @@ func (l *List) Threshold() float64 {
 // least δ. A contrast whose itemset is already present replaces the stored
 // entry when its score is higher. It reports whether the list changed.
 func (l *List) Add(c pattern.Contrast) bool {
+	if l.rec != nil {
+		before := l.Threshold()
+		changed := l.add(c)
+		if after := l.Threshold(); changed && after != before {
+			l.rec.ThresholdUpdate(after)
+		}
+		return changed
+	}
+	return l.add(c)
+}
+
+func (l *List) add(c pattern.Contrast) bool {
 	key := c.Set.Key()
 	if idx, ok := l.keys[key]; ok {
 		if c.Score <= l.h.items[idx].Score {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 )
 
@@ -185,4 +186,36 @@ func TestContrastsDeterministicOrder(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprint(a)
+}
+
+func TestThresholdUpdateRecording(t *testing.T) {
+	rec := metrics.New()
+	l := New(2, 0.1).WithRecorder(rec)
+	l.Add(mk(0, 0, 1, 0.5))
+	l.Add(mk(1, 0, 1, 0.6))
+	if got := rec.Snapshot().ThresholdUpdates; got == 0 {
+		t.Fatal("no threshold update when list filled")
+	}
+	before := rec.Snapshot().ThresholdUpdates
+	// Rejected contrast: threshold unchanged, no update recorded.
+	l.Add(mk(2, 0, 1, 0.2))
+	if got := rec.Snapshot().ThresholdUpdates; got != before {
+		t.Errorf("rejected Add recorded an update (%d -> %d)", before, got)
+	}
+	// Eviction raises the k-th best: update recorded with the new value.
+	l.Add(mk(3, 0, 1, 0.9))
+	s := rec.Snapshot()
+	if s.ThresholdUpdates != before+1 {
+		t.Errorf("eviction updates = %d, want %d", s.ThresholdUpdates, before+1)
+	}
+	if s.Threshold != l.Threshold() {
+		t.Errorf("recorded threshold %v != list threshold %v", s.Threshold, l.Threshold())
+	}
+}
+
+func TestNilRecorderList(t *testing.T) {
+	l := New(2, 0.1).WithRecorder(nil)
+	if !l.Add(mk(0, 0, 1, 0.5)) {
+		t.Fatal("add failed with nil recorder")
+	}
 }

@@ -3,10 +3,12 @@ package sdadcs
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/entropy"
+	"sdadcs/internal/metrics"
 	"sdadcs/internal/mvd"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/qar"
@@ -58,6 +60,17 @@ type (
 	Validation = core.Validation
 	// OEMode selects the optimistic-estimate variant.
 	OEMode = core.OEMode
+
+	// MetricsRecorder is the concurrency-safe instrumentation sink the
+	// miner, top-k list and stream monitor report into when
+	// Config.Metrics is set. A nil recorder disables instrumentation at
+	// near-zero cost.
+	MetricsRecorder = metrics.Recorder
+	// MetricsSnapshot is a point-in-time, JSON-ready copy of a recorder:
+	// per-level node counts and wall times, per-rule prune hits, SDAD-CS
+	// split/box/merge counters, top-k threshold dynamics, re-mine
+	// latency.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Attribute kinds.
@@ -114,6 +127,18 @@ func WriteCSV(w io.Writer, d *Dataset, groupColumn string) error {
 
 // Mine runs the SDAD-CS contrast pattern search.
 func Mine(d *Dataset, cfg Config) Result { return core.Mine(d, cfg) }
+
+// NewMetricsRecorder returns an enabled instrumentation recorder; assign
+// it to Config.Metrics (and/or StreamConfig.Mining.Metrics) to collect
+// live counters, then read Result.Metrics or call WriteMetrics.
+func NewMetricsRecorder() *MetricsRecorder { return metrics.New() }
+
+// WriteMetrics dumps a recorder's snapshot as indented, expvar-style JSON.
+func WriteMetrics(w io.Writer, r *MetricsRecorder) error { return metrics.WriteJSON(w, r) }
+
+// MetricsHandler serves a recorder's snapshot as JSON — mount it on any
+// mux for a live metrics endpoint (cmd/monitor -metrics does this).
+func MetricsHandler(r *MetricsRecorder) http.Handler { return metrics.Handler(r) }
 
 // MineContext is Mine with cancellation: the search checks ctx between
 // levels and returns the (sorted, filtered) contrasts found so far plus
