@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -148,6 +149,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			rows++
 			evs, err := m.Append(cont, cat, rec[groupCol])
+			if errors.Is(err, sdadcs.ErrWindowNotMineable) {
+				// Single-group window at this re-mine tick: keep filling
+				// and retry at the next one (reported in the summary).
+				err = nil
+			}
 			if err != nil {
 				fmt.Fprintln(stderr, "monitor:", err)
 				return 1
@@ -169,6 +175,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "replayed %d rows, %d windows mined, %d events\n",
 		rows, m.Mines(), events)
+	if skipped := m.SkippedMines(); skipped > 0 {
+		fmt.Fprintf(stdout, "skipped %d unmineable windows (single group)\n", skipped)
+	}
 	if mrec != nil {
 		snap := mrec.Snapshot()
 		fmt.Fprintf(stdout, "re-mine latency: %d windows, mean %s, max %s\n",

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -47,6 +48,9 @@ func main() {
 				result = "fail" // background fallout
 			}
 			events, err := monitor.Append([]float64{temp}, []string{lane}, result)
+			if errors.Is(err, sdadcs.ErrWindowNotMineable) {
+				continue // single-group window: retry at the next tick
+			}
 			if err != nil {
 				panic(err)
 			}

@@ -83,17 +83,46 @@ func (s *Set) Fill() {
 	}
 }
 
+// Any reports whether at least one bit is set. It short-circuits on the
+// first non-zero word, so it is cheaper than Count() > 0 for sparse
+// prefixes and dense sets alike.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Rows materializes the set bits as sorted row indices.
 func (s *Set) Rows() []int {
-	out := make([]int, 0, s.Count())
+	return s.AppendRows(make([]int, 0, s.Count()))
+}
+
+// AppendRows appends the set bits, in ascending order, to dst and returns
+// the extended slice — the allocation-free materialization path for callers
+// that reuse a buffer across many covers.
+func (s *Set) AppendRows(dst []int) []int {
 	for wi, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi<<6+b)
+			dst = append(dst, wi<<6+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// ForEach calls fn for every set bit in ascending row order.
+func (s *Set) ForEach(fn func(row int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
 }
 
 // Index holds one bitmap per categorical value and per group of a dataset.
@@ -131,6 +160,16 @@ func NewIndex(d *dataset.Dataset) *Index {
 
 // Rows returns the universe size.
 func (ix *Index) Rows() int { return ix.n }
+
+// NumBitmaps returns how many bitmaps the index holds (one per categorical
+// value plus one per group) — the build cost the metrics layer reports.
+func (ix *Index) NumBitmaps() int {
+	n := len(ix.groups)
+	for _, sets := range ix.values {
+		n += len(sets)
+	}
+	return n
+}
 
 // Value returns the bitmap of rows where attr = code.
 func (ix *Index) Value(attr, code int) *Set { return ix.values[attr][code] }

@@ -67,6 +67,27 @@ func BenchmarkPruneTableSubsetLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeHeavy guards the bottom-up merge against the former
+// restart-everything rescan (O(n³) chi-square evaluations on merge-heavy
+// windows): a long chain of contiguous, similar spaces that collapses into
+// one. With failure memoization and ordered insertion each distinct pair
+// is evaluated at most once.
+func BenchmarkMergeHeavy(b *testing.B) {
+	cfg := Config{}
+	cfg.defaults()
+	cfg.Delta = 0.001
+	sizes := []int{6000, 6000}
+	r := &sdadRun{cfg: &cfg, alpha: cfg.Alpha, sizes: sizes}
+	spaces := mergeChain(64, []int{60, 6}, sizes, &cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.merge(spaces); len(got) != 1 {
+			b.Fatalf("chain did not collapse: %d spaces", len(got))
+		}
+	}
+}
+
 // BenchmarkMineMixedMetrics pairs BenchmarkMineMixed with and without a
 // recorder, proving the disabled path stays benchmark-neutral and the
 // enabled path's overhead is bounded.

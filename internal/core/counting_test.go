@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
+)
+
+// TestCountingGoldenEquality: the bitmap and slice support-counting
+// engines must produce bit-identical results — same contrasts in the same
+// order, same supports, same scores and test statistics, same work
+// counters — on both a categorical-heavy and a mixed dataset,
+// sequentially and with parallel workers.
+func TestCountingGoldenEquality(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *dataset.Dataset
+		cfg  Config
+	}{
+		{
+			name: "mixed/adult",
+			d:    datagen.Adult(datagen.AdultConfig{Seed: 5, Bachelors: 1200, Doctorate: 300}),
+			cfg:  Config{MaxDepth: 2},
+		},
+		{
+			name: "categorical/manufacturing",
+			d: datagen.Manufacturing(datagen.ManufacturingConfig{
+				Seed: 5, Population: 1500, Failed: 400, Features: 12,
+			}),
+			cfg: Config{MaxDepth: 2},
+		},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 8} {
+			cfgSlice := tc.cfg
+			cfgSlice.Workers = workers
+			cfgSlice.Counting = CountingSlice
+			cfgBitmap := tc.cfg
+			cfgBitmap.Workers = workers
+			cfgBitmap.Counting = CountingBitmap
+
+			rs := Mine(tc.d, cfgSlice)
+			rb := Mine(tc.d, cfgBitmap)
+
+			if len(rs.Contrasts) != len(rb.Contrasts) {
+				t.Errorf("%s workers=%d: slice found %d contrasts, bitmap %d",
+					tc.name, workers, len(rs.Contrasts), len(rb.Contrasts))
+				continue
+			}
+			for i := range rs.Contrasts {
+				a, b := rs.Contrasts[i], rb.Contrasts[i]
+				switch {
+				case a.Set.Key() != b.Set.Key():
+					t.Errorf("%s workers=%d contrast %d: slice %s vs bitmap %s",
+						tc.name, workers, i, a.Set.Key(), b.Set.Key())
+				case !reflect.DeepEqual(a.Supports, b.Supports):
+					t.Errorf("%s workers=%d contrast %d (%s): supports %+v vs %+v",
+						tc.name, workers, i, a.Set.Key(), a.Supports, b.Supports)
+				case a.Score != b.Score || a.ChiSq != b.ChiSq || a.P != b.P:
+					t.Errorf("%s workers=%d contrast %d (%s): score/chisq/p (%v,%v,%v) vs (%v,%v,%v)",
+						tc.name, workers, i, a.Set.Key(),
+						a.Score, a.ChiSq, a.P, b.Score, b.ChiSq, b.P)
+				}
+			}
+			if !reflect.DeepEqual(rs.Meaning, rb.Meaning) {
+				t.Errorf("%s workers=%d: meaningfulness classifications differ",
+					tc.name, workers)
+			}
+			if rs.Stats.PartitionsEvaluated != rb.Stats.PartitionsEvaluated {
+				t.Errorf("%s workers=%d: partitions evaluated %d (slice) vs %d (bitmap)",
+					tc.name, workers,
+					rs.Stats.PartitionsEvaluated, rb.Stats.PartitionsEvaluated)
+			}
+		}
+	}
+}
+
+// TestCountingAutoIsBitmap: the default mode resolves to the bitmap
+// engine, observable through the instrumentation counters.
+func TestCountingAutoIsBitmap(t *testing.T) {
+	d := datagen.Adult(datagen.AdultConfig{Seed: 3, Bachelors: 400, Doctorate: 100})
+	rec := metrics.New()
+	Mine(d, Config{MaxDepth: 2, Metrics: rec})
+	if s := rec.Snapshot(); s.BitmapBuilds == 0 {
+		t.Error("CountingAuto did not build a bitmap index")
+	}
+}
+
+// TestCountingBitmapMetrics: a mixed mining run under the bitmap engine
+// exercises all four counters — index builds, cover intersections,
+// popcount passes, and lazy row materializations (SDAD-CS box interiors
+// need raw rows for medians).
+func TestCountingBitmapMetrics(t *testing.T) {
+	d := datagen.Adult(datagen.AdultConfig{Seed: 3, Bachelors: 800, Doctorate: 200})
+	rec := metrics.New()
+	Mine(d, Config{MaxDepth: 2, Counting: CountingBitmap, Metrics: rec})
+	s := rec.Snapshot()
+	if s.BitmapBuilds == 0 {
+		t.Error("no bitmap builds recorded")
+	}
+	if s.BitmapAndOps == 0 {
+		t.Error("no bitmap AND ops recorded")
+	}
+	if s.BitmapPopcounts == 0 {
+		t.Error("no popcount passes recorded")
+	}
+	if s.BitmapLazyRows == 0 {
+		t.Error("no lazy materializations recorded on a mixed dataset")
+	}
+
+	// The slice engine must leave the bitmap counters untouched.
+	rec2 := metrics.New()
+	Mine(d, Config{MaxDepth: 2, Counting: CountingSlice, Metrics: rec2})
+	s2 := rec2.Snapshot()
+	if s2.BitmapBuilds != 0 || s2.BitmapAndOps != 0 || s2.BitmapPopcounts != 0 || s2.BitmapLazyRows != 0 {
+		t.Errorf("slice engine recorded bitmap work: %+v", s2)
+	}
+}
+
+// TestCountingModeString: the knob renders stable names.
+func TestCountingModeString(t *testing.T) {
+	if CountingAuto.String() != "auto" || CountingBitmap.String() != "bitmap" ||
+		CountingSlice.String() != "slice" {
+		t.Error("counting mode names wrong")
+	}
+	if !CountingAuto.bitmap() || !CountingBitmap.bitmap() || CountingSlice.bitmap() {
+		t.Error("counting mode resolution wrong")
+	}
+}

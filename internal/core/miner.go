@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sdadcs/internal/bitmap"
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
@@ -41,6 +42,13 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 		table: make(pruneTable),
 		memo:  newSupportMemo(d),
 		rec:   cfg.Metrics,
+	}
+	if cfg.Counting.bitmap() {
+		// Build the per-(attr,value) bitmaps and per-group masks once per
+		// Mine call; every candidate cover below is an intersection of
+		// these and every support count a popcount against a group mask.
+		m.index = bitmap.NewIndex(d)
+		m.rec.BitmapBuilds(m.index.NumBitmaps())
 	}
 	attrs := cfg.Attrs
 	if attrs == nil {
@@ -104,6 +112,11 @@ type miner struct {
 	table pruneTable
 	memo  *supportMemo
 	stats Stats
+	// index is the bitmap support-counting engine (nil = slice engine):
+	// one bitmap per categorical value and per group, built once per Mine
+	// call. It is immutable after construction, so per-level workers share
+	// it without locks.
+	index *bitmap.Index
 	// rec is the optional instrumentation sink (nil = disabled). It is
 	// shared with every per-level worker goroutine; all its operations
 	// are atomic.
@@ -123,9 +136,14 @@ func (m *miner) snapshot() *metrics.Snapshot {
 // node is one entry of the combination frontier: a categorical value
 // context, the rows it covers, and the continuous attributes to be
 // discretized jointly. catSet.Len() + len(contAttrs) equals the level.
+//
+// The cover is carried in exactly one representation, depending on the
+// counting engine: catCover (a row-index view, slice engine) or bits (a
+// bitmap over the row universe, bitmap engine; nil bits = all rows).
 type node struct {
 	catSet    pattern.Itemset
 	catCover  dataset.View
+	bits      *bitmap.Set
 	contAttrs []int
 	lastAttr  int
 }
@@ -139,26 +157,35 @@ type nodeOutcome struct {
 }
 
 // levelOne builds the initial frontier: one node per categorical value and
-// one per continuous attribute.
+// one per continuous attribute. With the bitmap engine, a level-1
+// categorical cover is the value's index bitmap itself (shared, never
+// mutated); the slice engine filters row views as before.
 func (m *miner) levelOne(attrs []int) []node {
 	var out []node
 	for _, attr := range attrs {
 		if m.d.Attr(attr).Kind == dataset.Categorical {
 			for code := range m.d.Domain(attr) {
-				item := pattern.CatItem(attr, code)
-				out = append(out, node{
-					catSet:   pattern.NewItemset(item),
-					catCover: m.d.All().FilterCat(attr, code),
+				nd := node{
+					catSet:   pattern.NewItemset(pattern.CatItem(attr, code)),
 					lastAttr: attr,
-				})
+				}
+				if m.index != nil {
+					nd.bits = m.index.Value(attr, code)
+				} else {
+					nd.catCover = m.d.All().FilterCat(attr, code)
+				}
+				out = append(out, nd)
 			}
 		} else {
-			out = append(out, node{
+			nd := node{
 				catSet:    pattern.NewItemset(),
-				catCover:  m.d.All(),
 				contAttrs: []int{attr},
 				lastAttr:  attr,
-			})
+			}
+			if m.index == nil {
+				nd.catCover = m.d.All()
+			} // bitmap engine: nil bits = full universe
+			out = append(out, nd)
 		}
 	}
 	return out
@@ -166,6 +193,9 @@ func (m *miner) levelOne(attrs []int) []node {
 
 // expand generates the next level: every surviving node extended with
 // every attribute after its last (each combination visited exactly once).
+// A categorical extension's cover is parent ∧ value-bitmap (one AND over
+// packed words) under the bitmap engine, or a row scan under the slice
+// engine; empty covers are dropped either way.
 func (m *miner) expand(nodes []node, attrs []int) []node {
 	var out []node
 	for _, nd := range nodes {
@@ -175,17 +205,31 @@ func (m *miner) expand(nodes []node, attrs []int) []node {
 			}
 			if m.d.Attr(attr).Kind == dataset.Categorical {
 				for code := range m.d.Domain(attr) {
-					item := pattern.CatItem(attr, code)
-					cover := nd.catCover.FilterCat(attr, code)
-					if cover.Len() == 0 {
-						continue
-					}
-					out = append(out, node{
-						catSet:    nd.catSet.With(item),
-						catCover:  cover,
+					child := node{
+						catSet:    nd.catSet.With(pattern.CatItem(attr, code)),
 						contAttrs: nd.contAttrs,
 						lastAttr:  attr,
-					})
+					}
+					if m.index != nil {
+						val := m.index.Value(attr, code)
+						if nd.bits == nil {
+							// Parent covers every row: the child cover is
+							// the (shared, immutable) value bitmap.
+							child.bits = val
+						} else {
+							child.bits = nd.bits.And(val)
+							m.rec.BitmapAnd()
+						}
+						if !child.bits.Any() {
+							continue
+						}
+					} else {
+						child.catCover = nd.catCover.FilterCat(attr, code)
+						if child.catCover.Len() == 0 {
+							continue
+						}
+					}
+					out = append(out, child)
 				}
 			} else {
 				conts := make([]int, len(nd.contAttrs), len(nd.contAttrs)+1)
@@ -194,6 +238,7 @@ func (m *miner) expand(nodes []node, attrs []int) []node {
 				out = append(out, node{
 					catSet:    nd.catSet,
 					catCover:  nd.catCover,
+					bits:      nd.bits,
 					contAttrs: conts,
 					lastAttr:  attr,
 				})
@@ -306,7 +351,8 @@ func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 // evaluate processes one node: a pure categorical itemset directly, a
 // mixed/continuous combination via SDAD-CS. It must not touch shared
 // mutable state (it runs concurrently); memo access is the one exception,
-// guarded inside concurrentMemo.
+// guarded by supportMemo's mutex (internal/core/prune.go) — all shared
+// access goes through supportMemo.supports, which locks around its cache.
 func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
 	if len(nd.contAttrs) == 0 {
 		return m.evaluateCategorical(nd, alpha)
@@ -324,13 +370,48 @@ func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
 		totalRows: m.d.Rows(),
 		rec:       m.rec,
 	}
-	contrasts := run.run(nd.catSet, nd.catCover)
+	contrasts := run.run(nd.catSet, m.coverView(nd))
 	return nodeOutcome{
 		contrasts: contrasts,
 		inserts:   run.inserts,
 		survived:  run.alive,
 		stats:     run.stats,
 	}
+}
+
+// coverView returns the node's cover as a row view. Under the bitmap
+// engine this is the lazy materialization fallback: SDAD-CS box interiors
+// need raw row indices for median computation, so a bitmap cover converts
+// to a sorted row slice exactly when (and only when) a continuous
+// combination is handed to Algorithm 1. Bitmap and slice covers enumerate
+// rows in the same ascending order, so both engines feed SDAD-CS identical
+// views.
+func (m *miner) coverView(nd node) dataset.View {
+	if m.index == nil {
+		return nd.catCover
+	}
+	if nd.bits == nil {
+		return m.d.All()
+	}
+	m.rec.BitmapMaterialize()
+	return m.d.Restrict(nd.bits.Rows())
+}
+
+// groupCounts counts the node's cover per group: a popcount of the cover
+// bitmap against every group mask under the bitmap engine, a row scan
+// under the slice engine. Both count exactly the same rows.
+func (m *miner) groupCounts(nd node) []int {
+	if m.index == nil {
+		return nd.catCover.GroupCounts()
+	}
+	if nd.bits == nil {
+		// Full-universe cover: the group masks are their own counts.
+		counts := make([]int, len(m.sizes))
+		copy(counts, m.sizes)
+		return counts
+	}
+	m.rec.BitmapPopcounts(len(m.sizes))
+	return m.index.GroupCounts(nd.bits)
 }
 
 // evaluateCategorical handles a categorical-only node (STUCCO semantics).
@@ -342,7 +423,7 @@ func (m *miner) evaluateCategorical(nd node, alpha float64) nodeOutcome {
 		return o
 	}
 	o.stats.PartitionsEvaluated++
-	sup := pattern.CountsToSupports(nd.catCover.GroupCounts(), m.sizes)
+	sup := pattern.CountsToSupports(m.groupCounts(nd), m.sizes)
 	dec := evaluatePruning(m.prune, nd.catSet, sup, m.cfg.Delta, alpha,
 		m.d.Rows(), m.memo.supports, m.rec)
 	if dec.record && m.prune.LookupTable {

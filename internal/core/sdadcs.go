@@ -77,6 +77,14 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 	// Assign every view row to its space in a single pass: the interval
 	// choices partition each attribute's current range, so each row lands
 	// in exactly one space. This replaces 2^|ca| per-space scans.
+	//
+	// The assignment uses the same (Lo, Hi] half-open convention as the
+	// recorded RangeItems, View.FilterRange and pattern.SupportsOf: a row
+	// belongs to the low child of a split at m iff Lo < v <= m and to the
+	// high child iff m < v <= Hi. Rows outside the box's current range on
+	// any attribute — values tied exactly at the box's Lo, or beyond its
+	// Hi, which a caller-supplied view may contain — belong to no space,
+	// exactly as re-counting the recorded box would exclude them.
 	totalSpaces := 1
 	for _, ch := range choices {
 		totalSpaces *= len(ch)
@@ -88,12 +96,16 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 		row := view.Row(i)
 		linear := 0
 		mult := 1
-		missing := false
+		skip := false
 		for k, attr := range r.contAttrs {
 			ch := choices[k]
 			v := r.d.Cont(attr, row)
 			if v != v { // NaN: a missing reading belongs to no bin
-				missing = true
+				skip = true
+				break
+			}
+			if v <= ch[0].Lo || v > ch[len(ch)-1].Hi {
+				skip = true // outside the box under (Lo, Hi] semantics
 				break
 			}
 			choice := 0
@@ -103,7 +115,7 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 			linear += choice * mult
 			mult *= len(ch)
 		}
-		if missing {
+		if skip {
 			continue
 		}
 		spaceRows[linear] = append(spaceRows[linear], row)
@@ -230,6 +242,16 @@ func currentRange(box pattern.Itemset, attr int) pattern.Interval {
 // spaces — smallest hyper-volume first — whose group distributions are
 // statistically similar, as long as the merged contrast stays large and
 // significant.
+//
+// The scan repeatedly takes the first mergeable pair in volume order.
+// tryMerge is a pure function of the two contrasts, so a pair that failed
+// once fails forever: failures are memoized and the rescan after a merge
+// re-examines only pairs involving the new union (everything else is a map
+// hit). The union is spliced into the volume order directly instead of
+// re-sorting the whole list. This replaces the former
+// re-sort-and-recompute-all-pairs restart, which made merge-heavy windows
+// O(n³) chi-square evaluations; the visit order — and therefore the result
+// — is unchanged.
 func (r *sdadRun) merge(d []pattern.Contrast) []pattern.Contrast {
 	if len(d) < 2 {
 		return d
@@ -245,23 +267,30 @@ func (r *sdadRun) merge(d []pattern.Contrast) []pattern.Contrast {
 	}
 	sortByVolume(spaces)
 
+	type pairKey struct{ a, b string }
+	failed := make(map[pairKey]struct{})
 	for {
 		merged := false
 	outer:
 		for i := 0; i < len(spaces); i++ {
 			for j := i + 1; j < len(spaces); j++ {
+				key := pairKey{spaces[i].Set.Key(), spaces[j].Set.Key()}
+				if _, done := failed[key]; done {
+					continue
+				}
 				r.rec.MergeAttempt()
 				u, ok := r.tryMerge(spaces[i], spaces[j])
 				if !ok {
+					failed[key] = struct{}{}
 					continue
 				}
 				r.stats.MergeOps++
 				r.rec.MergeOp()
-				// Replace the pair with the union, keep volume order.
+				// Replace the pair with the union, splicing it into the
+				// existing volume order (j > i, so remove j first).
 				spaces = append(spaces[:j], spaces[j+1:]...)
 				spaces = append(spaces[:i], spaces[i+1:]...)
-				spaces = append(spaces, u)
-				sortByVolume(spaces)
+				spaces = insertByVolume(spaces, u)
 				merged = true
 				break outer
 			}
@@ -270,6 +299,16 @@ func (r *sdadRun) merge(d []pattern.Contrast) []pattern.Contrast {
 			return spaces
 		}
 	}
+}
+
+// insertByVolume inserts c into a volume-sorted slice at its ordered
+// position (the same total order sortByVolume establishes).
+func insertByVolume(cs []pattern.Contrast, c pattern.Contrast) []pattern.Contrast {
+	pos := sort.Search(len(cs), func(i int) bool { return volumeLess(c, cs[i]) })
+	cs = append(cs, pattern.Contrast{})
+	copy(cs[pos+1:], cs[pos:])
+	cs[pos] = c
+	return cs
 }
 
 // tryMerge combines two contrast spaces when they are contiguous on
@@ -348,17 +387,21 @@ func contiguousOn(a, b pattern.Itemset) (attr int, union pattern.Interval, ok bo
 // sortByVolume orders contrasts by ascending hyper-volume (unbounded
 // ranges last), breaking ties by key for determinism.
 func sortByVolume(cs []pattern.Contrast) {
-	sort.Slice(cs, func(i, j int) bool {
-		vi, vj := cs[i].Set.Volume(), cs[j].Set.Volume()
-		if vi != vj {
-			if math.IsInf(vi, 1) {
-				return false
-			}
-			if math.IsInf(vj, 1) {
-				return true
-			}
-			return vi < vj
+	sort.Slice(cs, func(i, j int) bool { return volumeLess(cs[i], cs[j]) })
+}
+
+// volumeLess is the total order sortByVolume and insertByVolume share:
+// ascending hyper-volume, unbounded ranges last, ties broken by key.
+func volumeLess(a, b pattern.Contrast) bool {
+	va, vb := a.Set.Volume(), b.Set.Volume()
+	if va != vb {
+		if math.IsInf(va, 1) {
+			return false
 		}
-		return cs[i].Set.Key() < cs[j].Set.Key()
-	})
+		if math.IsInf(vb, 1) {
+			return true
+		}
+		return va < vb
+	}
+	return a.Set.Key() < b.Set.Key()
 }

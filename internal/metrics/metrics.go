@@ -156,6 +156,12 @@ type Recorder struct {
 	mergeAttempts atomic.Int64
 	mergeOps      atomic.Int64
 
+	// Bitmap counting-engine counters (core.CountingBitmap path).
+	bitmapBuilds       atomic.Int64 // bitmaps constructed for the per-Mine index
+	bitmapAndOps       atomic.Int64 // cover ∧ value-bitmap intersections
+	bitmapPopcounts    atomic.Int64 // popcount passes (group counts, cover sizes)
+	bitmapMaterialized atomic.Int64 // lazy cover → row-slice materializations
+
 	// Top-k threshold dynamics.
 	thresholdUpdates atomic.Int64
 	thresholdBits    atomic.Uint64 // float64 bits of the latest threshold
@@ -280,6 +286,42 @@ func (r *Recorder) MergeOp() {
 	r.mergeOps.Add(1)
 }
 
+// BitmapBuilds counts bitmaps constructed while building a per-Mine value
+// index (one per categorical value and per group).
+func (r *Recorder) BitmapBuilds(n int) {
+	if r == nil {
+		return
+	}
+	r.bitmapBuilds.Add(int64(n))
+}
+
+// BitmapAnd counts one cover ∧ value-bitmap intersection.
+func (r *Recorder) BitmapAnd() {
+	if r == nil {
+		return
+	}
+	r.bitmapAndOps.Add(1)
+}
+
+// BitmapPopcounts counts n popcount passes (per-group support counts and
+// cover cardinalities).
+func (r *Recorder) BitmapPopcounts(n int) {
+	if r == nil {
+		return
+	}
+	r.bitmapPopcounts.Add(int64(n))
+}
+
+// BitmapMaterialize counts one lazy bitmap-cover → row-slice
+// materialization (the SDAD-CS fallback: box interiors need raw row indices
+// for median computation).
+func (r *Recorder) BitmapMaterialize() {
+	if r == nil {
+		return
+	}
+	r.bitmapMaterialized.Add(1)
+}
+
 // ThresholdUpdate records a top-k admission-threshold change.
 func (r *Recorder) ThresholdUpdate(v float64) {
 	if r == nil {
@@ -341,6 +383,10 @@ type Snapshot struct {
 	BoxesExplored    int64             `json:"boxes_explored"`
 	MergeAttempts    int64             `json:"merge_attempts"`
 	MergeOps         int64             `json:"merge_ops"`
+	BitmapBuilds     int64             `json:"bitmap_builds"`
+	BitmapAndOps     int64             `json:"bitmap_and_ops"`
+	BitmapPopcounts  int64             `json:"bitmap_popcounts"`
+	BitmapLazyRows   int64             `json:"bitmap_lazy_rows"`
 	ThresholdUpdates int64             `json:"threshold_updates"`
 	Threshold        float64           `json:"threshold"`
 	NodeEval         HistogramSnapshot `json:"node_eval"`
@@ -380,6 +426,10 @@ func (r *Recorder) Snapshot() Snapshot {
 		BoxesExplored:    r.boxes.Load(),
 		MergeAttempts:    r.mergeAttempts.Load(),
 		MergeOps:         r.mergeOps.Load(),
+		BitmapBuilds:     r.bitmapBuilds.Load(),
+		BitmapAndOps:     r.bitmapAndOps.Load(),
+		BitmapPopcounts:  r.bitmapPopcounts.Load(),
+		BitmapLazyRows:   r.bitmapMaterialized.Load(),
 		ThresholdUpdates: r.thresholdUpdates.Load(),
 		Threshold:        math.Float64frombits(r.thresholdBits.Load()),
 		NodeEval:         r.nodeEval.Snapshot(),

@@ -13,13 +13,22 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/pattern"
 )
+
+// ErrWindowNotMineable is returned by Append when a re-mine was due but the
+// window could not be mined — typically because it holds rows of fewer than
+// two groups, so contrast mining is undefined. The window keeps filling;
+// the next due re-mine will try again. Callers that only care about
+// pattern changes can treat it as a skipped tick (errors.Is).
+var ErrWindowNotMineable = errors.New("stream: window not mineable (need rows from at least two groups)")
 
 // Schema declares the stream's columns, in arrival order.
 type Schema struct {
@@ -115,6 +124,7 @@ type Monitor struct {
 	current   []pattern.Contrast
 	curData   *dataset.Dataset
 	mines     int
+	skipped   int
 }
 
 // NewMonitor builds a monitor for the schema.
@@ -142,9 +152,16 @@ func (m *Monitor) Len() int { return m.count }
 // Mines returns how many re-mines have run.
 func (m *Monitor) Mines() int { return m.mines }
 
+// SkippedMines returns how many due re-mines were skipped because the
+// window was not mineable (see ErrWindowNotMineable) — the stat that lets
+// operators distinguish "no pattern changes" from "could not mine".
+func (m *Monitor) SkippedMines() int { return m.skipped }
+
 // Append adds one row. cont and cat must match the schema's column
 // counts. When a re-mine triggers, the pattern-change events are
-// returned; otherwise the slice is nil.
+// returned; otherwise the slice is nil. A due re-mine over a window that
+// cannot be mined (single group) returns ErrWindowNotMineable; the monitor
+// stays usable and retries at the next due re-mine.
 func (m *Monitor) Append(cont []float64, cat []string, group string) ([]Event, error) {
 	if len(cont) != len(m.schema.Continuous) || len(cat) != len(m.schema.Categorical) {
 		return nil, fmt.Errorf("stream: row has %d/%d values, schema wants %d/%d",
@@ -215,11 +232,14 @@ func (m *Monitor) CurrentData() *dataset.Dataset { return m.curData }
 
 // remine mines the window and diffs against the previous pattern set. When
 // the mining config carries a metrics recorder, the window's re-mine wall
-// time is observed — the latency of "timely feedback" itself.
+// time is observed — the latency of "timely feedback" itself. A window
+// that cannot be mined surfaces ErrWindowNotMineable (and bumps the
+// skipped-mine stat) instead of silently reporting "no changes".
 func (m *Monitor) remine() ([]Event, error) {
 	d := m.Snapshot()
 	if d == nil {
-		return nil, nil
+		m.skipped++
+		return nil, ErrWindowNotMineable
 	}
 	rec := m.cfg.Mining.Metrics
 	var start time.Time
@@ -237,16 +257,24 @@ func (m *Monitor) remine() ([]Event, error) {
 	return events, nil
 }
 
-// diff matches new patterns against the previous set structurally.
+// diff matches new patterns against the previous set structurally. When
+// several previous patterns are structural candidates — two sibling
+// patterns over the same attribute set, e.g. the low and high halves of a
+// split — the one with the maximal range overlap is paired, not the first
+// in list order: first-match pairing could cross the siblings and emit
+// spurious Drifted + Appeared/Disappeared events.
 func (m *Monitor) diff(d *dataset.Dataset, next []pattern.Contrast) []Event {
 	var events []Event
 	matchedPrev := make([]bool, len(m.current))
 	for _, c := range next {
 		best := -1
+		bestOverlap := math.Inf(-1)
 		for i, p := range m.current {
-			if !matchedPrev[i] && structurallySame(c.Set, d, p.Set, m.curData) {
-				best = i
-				break
+			if matchedPrev[i] || !structurallySame(c.Set, d, p.Set, m.curData) {
+				continue
+			}
+			if ov := rangeOverlap(c.Set, p.Set); ov > bestOverlap {
+				best, bestOverlap = i, ov
 			}
 		}
 		if best == -1 {
@@ -282,6 +310,41 @@ func (m *Monitor) diff(d *dataset.Dataset, next []pattern.Contrast) []Event {
 		}
 	}
 	return events
+}
+
+// rangeOverlap scores how well two structurally-same itemsets' continuous
+// ranges line up: the sum, over continuous attributes, of the Jaccard
+// overlap of the two intervals (intersection width / union width). Higher
+// is better; itemsets with no continuous attributes score 0 (any
+// structural match is then exact — categorical values already agreed).
+// Unbounded ends are clamped so ±Inf boundaries still compare sensibly:
+// an infinite intersection counts as a full match on that attribute, an
+// infinite union with a finite intersection as no overlap credit.
+func rangeOverlap(a, b pattern.Itemset) float64 {
+	score := 0.0
+	for _, ia := range a.Items() {
+		if ia.Kind != dataset.Continuous {
+			continue
+		}
+		ib, ok := b.ItemOn(ia.Attr)
+		if !ok || ib.Kind != dataset.Continuous {
+			continue
+		}
+		inter := math.Min(ia.Range.Hi, ib.Range.Hi) - math.Max(ia.Range.Lo, ib.Range.Lo)
+		if inter <= 0 || math.IsNaN(inter) {
+			continue
+		}
+		union := math.Max(ia.Range.Hi, ib.Range.Hi) - math.Min(ia.Range.Lo, ib.Range.Lo)
+		switch {
+		case math.IsInf(inter, 1):
+			score++ // both unbounded the same way: treat as full overlap
+		case math.IsInf(union, 1):
+			// finite overlap inside an unbounded union: no credit
+		default:
+			score += inter / union
+		}
+	}
+	return score
 }
 
 // structurallySame matches itemsets across snapshots: same attribute set,

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -146,18 +147,43 @@ func TestMonitorSchemaMismatch(t *testing.T) {
 
 func TestMonitorSingleGroupWindow(t *testing.T) {
 	m := NewMonitor(lineSchema(), Config{WindowSize: 100, MineEvery: 50})
-	// All rows in one group: snapshot is not minable; no events, no panic.
+	// All rows in one group: every due re-mine must surface the typed
+	// sentinel (not silently report "no changes"), produce no events, and
+	// leave the monitor usable.
+	ticks := 0
 	for i := 0; i < 200; i++ {
 		events, err := m.Append([]float64{float64(i)}, []string{"M1"}, "pass")
 		if err != nil {
-			t.Fatal(err)
+			if !errors.Is(err, ErrWindowNotMineable) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			ticks++
 		}
 		if len(events) != 0 {
 			t.Fatal("events from a single-group window")
 		}
 	}
+	if ticks == 0 {
+		t.Error("no ErrWindowNotMineable surfaced from single-group re-mines")
+	}
+	if m.SkippedMines() != ticks {
+		t.Errorf("SkippedMines = %d, want %d", m.SkippedMines(), ticks)
+	}
+	if m.Mines() != 0 {
+		t.Errorf("Mines = %d on an unmineable stream", m.Mines())
+	}
 	if m.Snapshot() != nil {
 		t.Error("single-group snapshot should be nil")
+	}
+	// A second group arriving makes the next due re-mine succeed (50 fail
+	// rows: the window is then half pass, half fail).
+	for i := 0; i < 50; i++ {
+		if _, err := m.Append([]float64{float64(i)}, []string{"M1"}, "fail"); err != nil {
+			t.Fatalf("Append after second group: %v", err)
+		}
+	}
+	if m.Mines() == 0 {
+		t.Error("monitor did not recover once a second group arrived")
 	}
 }
 
@@ -201,6 +227,72 @@ func TestStructurallySame(t *testing.T) {
 	}
 	if structurallySame(a, nil, b, db) {
 		t.Error("nil dataset should not match")
+	}
+}
+
+// TestDiffSiblingPatterns: when two sibling patterns over the same
+// attribute persist across windows — the low and high halves of a split,
+// say — diff must pair each new pattern with the previous pattern whose
+// range it actually continues, not the first structural candidate in list
+// order. First-match pairing used to cross the siblings (both overlap near
+// the split point) and emit a spurious Drifted plus an Appeared and a
+// Disappeared for a perfectly stable pattern set.
+func TestDiffSiblingPatterns(t *testing.T) {
+	mkData := func(name string) *dataset.Dataset {
+		x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		g := make([]string, len(x))
+		for i := range g {
+			g[i] = []string{"pass", "fail"}[i%2]
+		}
+		return dataset.NewBuilder(name).
+			AddContinuous("temp", x).
+			SetGroups(g).
+			MustBuild()
+	}
+	mkC := func(lo, hi, score float64) pattern.Contrast {
+		return pattern.Contrast{
+			Set:   pattern.NewItemset(pattern.RangeItem(0, lo, hi)),
+			Score: score,
+		}
+	}
+
+	m := NewMonitor(Schema{Name: "line", Continuous: []string{"temp"}},
+		Config{WindowSize: 100, MineEvery: 50})
+	m.curData = mkData("prev")
+	m.current = []pattern.Contrast{
+		mkC(0, 5, 0.5),    // low sibling
+		mkC(4.5, 10, 0.9), // high sibling
+	}
+	nextD := mkData("next")
+
+	// The same two siblings, bin boundaries jittered, the high one listed
+	// first. It overlaps BOTH previous patterns; only maximal-overlap
+	// pairing matches it to its own predecessor.
+	events := m.diff(nextD, []pattern.Contrast{
+		mkC(4, 9.5, 0.9), // high sibling, drifted boundaries
+		mkC(0.2, 4, 0.5), // low sibling
+	})
+	for _, e := range events {
+		t.Logf("spurious event %s: %s (score %.2f, prev %.2f)",
+			e.Kind, e.Format, e.Contrast.Score, e.PrevScore)
+	}
+	if len(events) != 0 {
+		t.Errorf("stable sibling patterns produced %d events, want 0", len(events))
+	}
+
+	// A genuine score drop on the high sibling must still be reported.
+	events = m.diff(nextD, []pattern.Contrast{
+		mkC(4, 9.5, 0.4),
+		mkC(0.2, 4, 0.5),
+	})
+	drifted := 0
+	for _, e := range events {
+		if e.Kind == Drifted && e.PrevScore == 0.9 {
+			drifted++
+		}
+	}
+	if drifted != 1 {
+		t.Errorf("high-sibling score drop reported %d drift events, want 1", drifted)
 	}
 }
 

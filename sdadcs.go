@@ -60,6 +60,8 @@ type (
 	Validation = core.Validation
 	// OEMode selects the optimistic-estimate variant.
 	OEMode = core.OEMode
+	// CountingMode selects the support-counting engine (bitmap or slice).
+	CountingMode = core.CountingMode
 
 	// MetricsRecorder is the concurrency-safe instrumentation sink the
 	// miner, top-k list and stream monitor report into when
@@ -100,6 +102,17 @@ const (
 	OEModePaper = core.OEModePaper
 	// OEModeConservative stays admissible under ties.
 	OEModeConservative = core.OEModeConservative
+)
+
+// Support-counting engines (Config.Counting). Both produce identical
+// results; the knob exists for A/B benchmarking.
+const (
+	// CountingAuto (default) resolves to the bitmap engine.
+	CountingAuto = core.CountingAuto
+	// CountingBitmap counts supports with per-value bitmaps + popcounts.
+	CountingBitmap = core.CountingBitmap
+	// CountingSlice is the original row-index-slice path.
+	CountingSlice = core.CountingSlice
 )
 
 // NewBuilder starts building a dataset.
@@ -244,6 +257,12 @@ const (
 	StreamDisappeared = stream.Disappeared
 	StreamDrifted     = stream.Drifted
 )
+
+// ErrWindowNotMineable is returned by StreamMonitor.Append when a due
+// re-mine found the window unmineable (fewer than two groups). The monitor
+// stays usable and retries at the next due re-mine; check with errors.Is
+// to treat it as a skipped tick rather than a fatal condition.
+var ErrWindowNotMineable = stream.ErrWindowNotMineable
 
 // NewStreamMonitor builds a sliding-window contrast pattern monitor.
 func NewStreamMonitor(schema StreamSchema, cfg StreamConfig) *StreamMonitor {
