@@ -357,3 +357,36 @@ func BenchmarkMineMetrics(b *testing.B) {
 		b.ReportMetric(float64(snap.Levels[0].WallNanos), "level1-ns")
 	})
 }
+
+// BenchmarkMineTrace is the paired tracing benchmark, the same discipline
+// as BenchmarkMineMetrics: the disabled variant (nil tracer, one pointer
+// check per decision site) must stay within noise of the untraced mine;
+// the enabled variant pays for recording every decision event into the
+// preallocated ring and reports the event volume.
+func BenchmarkMineTrace(b *testing.B) {
+	d, attrs := ablationData()
+	cfg := func() core.Config {
+		return core.Config{Attrs: attrs, MaxDepth: 2, SkipMeaningfulFilter: true}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.Mine(d, cfg())
+			if res.Trace != nil {
+				b.Fatal("trace snapshot on untraced run")
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var tr *sdadcs.Trace
+		for i := 0; i < b.N; i++ {
+			c := cfg()
+			c.Trace = sdadcs.NewTracer(0)
+			tr = core.Mine(d, c).Trace
+		}
+		if tr == nil || len(tr.Events) == 0 {
+			b.Fatal("no decision events recorded")
+		}
+		b.ReportMetric(float64(len(tr.Events)), "events")
+		b.ReportMetric(float64(tr.Dropped), "dropped")
+	})
+}

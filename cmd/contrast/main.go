@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"sdadcs"
@@ -41,6 +43,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		forceCat = fs.String("categorical", "", "comma-separated columns to force categorical")
 		format   = fs.String("format", "text", "output format: text | markdown | csv | json")
 		metricsF = fs.Bool("metrics", false, "collect pipeline metrics and dump a JSON snapshot to stderr")
+		traceF   = fs.String("trace", "", "record the decision trace and write it to FILE as JSON Lines")
+		traceC   = fs.String("trace-chrome", "", "record the decision trace and write it to FILE in Chrome trace-event format (load in Perfetto or chrome://tracing)")
+		explainF = fs.String("explain", "", "explain one pattern's provenance instead of printing the report: comma-separated conditions, col=value (categorical) or col=lo..hi (continuous; inf/-inf allowed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,12 +98,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = sdadcs.NewMetricsRecorder()
 		cfg.Metrics = rec
 	}
+	if *traceF != "" || *traceC != "" || *explainF != "" {
+		// -explain needs the decision record even when no export was asked.
+		cfg.Trace = sdadcs.NewTracer(0)
+	}
 	res := sdadcs.Mine(d, cfg)
 	if rec != nil {
 		// Stderr keeps the report stream on stdout machine-readable.
 		if err := sdadcs.WriteMetrics(stderr, rec); err != nil {
 			fmt.Fprintln(stderr, "contrast: writing metrics:", err)
 		}
+	}
+	if *traceF != "" {
+		if err := writeTraceFile(*traceF, res.Trace, sdadcs.WriteTraceJSONL); err != nil {
+			fmt.Fprintln(stderr, "contrast:", err)
+			return 1
+		}
+	}
+	if *traceC != "" {
+		if err := writeTraceFile(*traceC, res.Trace, sdadcs.WriteTraceChrome); err != nil {
+			fmt.Fprintln(stderr, "contrast:", err)
+			return 1
+		}
+	}
+	if *explainF != "" {
+		set, err := parsePatternSpec(d, *explainF)
+		if err != nil {
+			fmt.Fprintln(stderr, "contrast:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, sdadcs.Explain(res.Trace, set).Format(d))
+		return 0
 	}
 
 	if *format == "text" {
@@ -113,6 +143,84 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// writeTraceFile exports the trace snapshot to path with the given encoder.
+func writeTraceFile(path string, tr *sdadcs.Trace, write func(io.Writer, *sdadcs.Trace) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, tr); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// parsePatternSpec parses the -explain pattern syntax against the dataset:
+// comma-separated conditions, each "col=value" for a categorical column or
+// "col=lo..hi" for a continuous one ((lo, hi] semantics; inf/-inf open an
+// end).
+func parsePatternSpec(d *sdadcs.Dataset, spec string) (sdadcs.Itemset, error) {
+	var items []sdadcs.Item
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return sdadcs.Itemset{}, fmt.Errorf("bad condition %q (want col=value or col=lo..hi)", part)
+		}
+		name, val := part[:eq], part[eq+1:]
+		attr := d.AttrIndex(name)
+		if attr < 0 {
+			return sdadcs.Itemset{}, fmt.Errorf("unknown column %q", name)
+		}
+		if d.Attr(attr).Kind == sdadcs.Continuous {
+			dots := strings.Index(val, "..")
+			if dots < 0 {
+				return sdadcs.Itemset{}, fmt.Errorf("continuous column %q needs a range, e.g. %s=0..10", name, name)
+			}
+			lo, err := parseBound(val[:dots])
+			if err != nil {
+				return sdadcs.Itemset{}, fmt.Errorf("bad lower bound in %q: %v", part, err)
+			}
+			hi, err := parseBound(val[dots+2:])
+			if err != nil {
+				return sdadcs.Itemset{}, fmt.Errorf("bad upper bound in %q: %v", part, err)
+			}
+			items = append(items, sdadcs.RangeItem(attr, lo, hi))
+			continue
+		}
+		code := -1
+		for c, v := range d.Domain(attr) {
+			if v == val {
+				code = c
+				break
+			}
+		}
+		if code < 0 {
+			return sdadcs.Itemset{}, fmt.Errorf("column %q has no value %q", name, val)
+		}
+		items = append(items, sdadcs.CatItem(attr, code))
+	}
+	if len(items) == 0 {
+		return sdadcs.Itemset{}, fmt.Errorf("empty pattern spec")
+	}
+	return sdadcs.NewItemset(items...), nil
+}
+
+// parseBound parses one range endpoint; "inf"/"-inf" open the interval.
+func parseBound(s string) (float64, error) {
+	switch strings.TrimSpace(s) {
+	case "-inf":
+		return math.Inf(-1), nil
+	case "inf", "+inf":
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
 }
 
 func parseMeasure(s string) (sdadcs.Measure, error) {

@@ -158,3 +158,85 @@ func TestRunMetricsFlag(t *testing.T) {
 		t.Errorf("stderr not empty without -metrics: %s", err2.String())
 	}
 }
+
+func TestRunTraceExports(t *testing.T) {
+	path := writeCSV(t)
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	chrome := filepath.Join(dir, "trace.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "label",
+		"-trace", jsonl, "-trace-chrome", chrome}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+
+	// The JSONL file round-trips through the public decoder.
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := sdadcs.ReadTraceJSONL(f)
+	if err != nil {
+		t.Fatalf("decoding -trace output: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Error("-trace wrote no events")
+	}
+
+	// The Chrome file is one valid JSON array with metadata up front.
+	raw, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("-trace-chrome output is not a JSON array: %v", err)
+	}
+	if len(events) < 3 || events[0]["name"] != "process_name" {
+		t.Errorf("chrome trace malformed: %d events", len(events))
+	}
+}
+
+func TestRunExplainFlag(t *testing.T) {
+	path := writeCSV(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "label",
+		"-explain", "c=low"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "pattern: c = low") || !strings.Contains(s, "verdict: ") {
+		t.Errorf("explain output malformed:\n%s", s)
+	}
+	if strings.Contains(s, "score=") {
+		t.Error("-explain must replace the report output")
+	}
+
+	// A continuous range condition parses too.
+	out.Reset()
+	errBuf.Reset()
+	code = run([]string{"-input", path, "-group", "label",
+		"-explain", "x=-inf..0.5"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("range explain exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "verdict: ") {
+		t.Errorf("range explain output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunExplainBadSpec(t *testing.T) {
+	path := writeCSV(t)
+	// "," is an empty spec after splitting (a bare "" just disables the
+	// flag and prints the normal report).
+	for _, spec := range []string{"nope=1", "c=missing", "x=5", ",", "c"} {
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-input", path, "-group", "label",
+			"-explain", spec}, &out, &errBuf); code != 2 {
+			t.Errorf("spec %q: exit %d, want 2", spec, code)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"flag"
@@ -19,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"time"
 
@@ -41,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		minScore = fs.Float64("minscore", 0.2, "alerting floor for appear/disappear events")
 		depth    = fs.Int("depth", 2, "maximum attributes per pattern")
 		metricsA = fs.String("metrics", "", "serve live pipeline metrics as JSON on this address (e.g. :8080; GET /metrics)")
+		traceF   = fs.String("trace", "", "append one decision-trace segment per mined window to FILE as JSON Lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,8 +101,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Replay until EOF or SIGINT: the signal context lets the HTTP server
+	// shut down gracefully instead of dying mid-response when the operator
+	// interrupts a long replay.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Live metrics endpoint: the recorder is shared with the miner, so a
 	// GET /metrics during the replay sees counters moving in real time.
+	// The server carries full read/write/idle timeouts — a stalled or idle
+	// client cannot pin a connection (and its goroutine) forever.
 	var mrec *sdadcs.MetricsRecorder
 	if *metricsA != "" {
 		mrec = sdadcs.NewMetricsRecorder()
@@ -108,13 +119,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "monitor: metrics listener:", lerr)
 			return 1
 		}
-		defer ln.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", sdadcs.MetricsHandler(mrec))
-		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		srv := &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      10 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
 		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
+		defer func() {
+			// Graceful drain: in-flight /metrics responses finish; the
+			// listener closes either way once the timeout elapses.
+			sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				_ = srv.Close()
+			}
+		}()
 		fmt.Fprintf(stderr, "monitor: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	// Per-window trace segments: the tracer is drained after every re-mine,
+	// so FILE accumulates one JSONL segment per mined window (ReadTraceJSONL
+	// decodes the concatenation).
+	var tracer *sdadcs.Tracer
+	var traceOut *os.File
+	if *traceF != "" {
+		tracer = sdadcs.NewTracer(0)
+		traceOut, err = os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintln(stderr, "monitor:", err)
+			return 1
+		}
+		defer traceOut.Close()
 	}
 
 	m := sdadcs.NewStreamMonitor(schema, sdadcs.StreamConfig{
@@ -125,13 +164,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Measure:  sdadcs.SurprisingMeasure,
 			MaxDepth: *depth,
 			Metrics:  mrec,
+			Trace:    tracer,
 		},
 	})
 
 	rows := 0
 	events := 0
+	segments := 0
 	rec := first
-	for {
+	for ctx.Err() == nil {
 		cont := make([]float64, len(contCols))
 		ok := true
 		for i, c := range contCols {
@@ -163,6 +204,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "row %6d  [%s]  %s  (score %.2f)\n",
 					rows, e.Kind, e.Format, e.Contrast.Score)
 			}
+			if tracer != nil && m.Mines() > segments {
+				// One JSONL segment per mined window; Drain keeps the
+				// cumulative volume counters and frees the buffer.
+				segments = m.Mines()
+				if werr := sdadcs.WriteTraceJSONL(traceOut, tracer.Drain()); werr != nil {
+					fmt.Fprintln(stderr, "monitor: writing trace:", werr)
+					return 1
+				}
+			}
 		}
 		rec, err = cr.Read()
 		if err == io.EOF {
@@ -173,8 +223,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "monitor: interrupted, shutting down")
+	}
 	fmt.Fprintf(stdout, "replayed %d rows, %d windows mined, %d events\n",
 		rows, m.Mines(), events)
+	if tracer != nil {
+		emitted, dropped, hw := tracer.Stats()
+		fmt.Fprintf(stdout, "trace: %d segments, %d events (%d dropped, high water %d)\n",
+			segments, emitted, dropped, hw)
+	}
 	if skipped := m.SkippedMines(); skipped > 0 {
 		fmt.Fprintf(stdout, "skipped %d unmineable windows (single group)\n", skipped)
 	}

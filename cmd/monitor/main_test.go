@@ -209,3 +209,47 @@ func TestRunMetricsBadAddress(t *testing.T) {
 		t.Errorf("bad metrics address: exit %d, want 1 (%s)", code, errBuf.String())
 	}
 }
+
+func TestRunTraceSegments(t *testing.T) {
+	path := writeStreamCSV(t)
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-input", path, "-group", "result",
+		"-window", "800", "-every", "400", "-trace", traceFile}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "trace: ") {
+		t.Errorf("summary missing trace line:\n%s", out.String())
+	}
+
+	// The file is a concatenation of per-window segments; the public
+	// decoder reads them as one stream, with one remine span per mined
+	// window.
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := sdadcs.ReadTraceJSONL(f)
+	if err != nil {
+		t.Fatalf("decoding per-window segments: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no trace events written")
+	}
+	remines := 0
+	for _, e := range tr.Events {
+		if e.Kind.String() == "remine" {
+			remines++
+		}
+	}
+	rows, mined := 0, 0
+	if _, err := fmt.Sscanf(out.String()[strings.Index(out.String(), "replayed"):],
+		"replayed %d rows, %d windows mined", &rows, &mined); err != nil {
+		t.Fatalf("parsing summary: %v\n%s", err, out.String())
+	}
+	if mined == 0 || remines != mined {
+		t.Errorf("%d remine spans for %d mined windows", remines, mined)
+	}
+}

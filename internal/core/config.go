@@ -3,6 +3,7 @@ package core
 import (
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
+	"sdadcs/internal/trace"
 )
 
 // OEMode selects how the optimistic estimate's maximum child-space size
@@ -163,6 +164,15 @@ type Config struct {
 	// default) disables instrumentation at near-zero cost — every record
 	// site is guarded by a single pointer check.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives decision-level events from the whole
+	// pipeline: node expansions, per-rule prune firings with the observed
+	// statistic and the bound it was tested against, SDAD-CS split/merge
+	// decisions, pattern emissions, and top-k admissions/evictions. The
+	// run's snapshot is attached to Result.Trace and indexable by canonical
+	// itemset key (trace.NewIndex / Explain). nil (the default) disables
+	// tracing with the same discipline as Metrics: one pointer check per
+	// site, zero allocations.
+	Trace *trace.Tracer
 	// PprofLabels annotates per-level worker goroutines with pprof labels
 	// (sdadcs_level, sdadcs_worker) so CPU profiles attribute samples to
 	// search levels. Off by default: labels cost a map allocation per
@@ -258,4 +268,7 @@ type Result struct {
 	// Metrics is the instrumentation snapshot taken when the run
 	// finished; nil unless Config.Metrics was set.
 	Metrics *metrics.Snapshot
+	// Trace is the decision-event snapshot of the run; nil unless
+	// Config.Trace was set.
+	Trace *trace.Trace
 }

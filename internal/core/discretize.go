@@ -25,7 +25,7 @@ func JointDiscretize(d *dataset.Dataset, contAttrs []int, context pattern.Itemse
 			panic("core: JointDiscretize requires continuous attributes")
 		}
 	}
-	list := topk.New(cfg.TopK, cfg.scoreFloor()).WithRecorder(cfg.Metrics)
+	list := topk.New(cfg.TopK, cfg.scoreFloor()).WithRecorder(cfg.Metrics).WithTracer(cfg.Trace)
 	run := &sdadRun{
 		d:         d,
 		cfg:       &cfg,
@@ -38,6 +38,7 @@ func JointDiscretize(d *dataset.Dataset, contAttrs []int, context pattern.Itemse
 		sizes:     d.GroupSizes(),
 		totalRows: d.Rows(),
 		rec:       cfg.Metrics,
+		tr:        cfg.Trace,
 	}
 	for _, c := range run.run(context, context.Cover(d.All())) {
 		list.Add(c)

@@ -24,11 +24,32 @@ type Meaningfulness struct {
 	// the contrast — after removing the superset's rows, what remains is
 	// no longer a significant contrast (the hurricane example of §4.3).
 	NotIndependentlyProductive bool
+	// ExplainedBy is the canonical key of the superset that failed the
+	// independent-productivity check ("" unless
+	// NotIndependentlyProductive) — the provenance detail the explain
+	// path renders.
+	ExplainedBy string
 }
 
 // Meaningful reports whether none of the three defects applies.
 func (m Meaningfulness) Meaningful() bool {
 	return !m.Redundant && !m.Unproductive && !m.NotIndependentlyProductive
+}
+
+// verdict renders the classification as the KindFilter trace vocabulary:
+// "kept", "redundant", "unproductive" or "dependent:<superset key>", in
+// defect-precedence order.
+func (m Meaningfulness) verdict() string {
+	switch {
+	case m.Redundant:
+		return "redundant"
+	case m.Unproductive:
+		return "unproductive"
+	case m.NotIndependentlyProductive:
+		return "dependent:" + m.ExplainedBy
+	default:
+		return "kept"
+	}
 }
 
 // Classify evaluates each contrast's meaningfulness at significance level
@@ -41,7 +62,9 @@ func Classify(d *dataset.Dataset, cs []pattern.Contrast, alpha float64) []Meanin
 	for i, c := range cs {
 		out[i].Redundant = isRedundant(c, alpha, memo)
 		out[i].Unproductive = isUnproductive(d, c, alpha, memo)
-		out[i].NotIndependentlyProductive = !isIndependentlyProductive(d, c, cs, alpha)
+		explainedBy, indep := isIndependentlyProductive(d, c, cs, alpha)
+		out[i].NotIndependentlyProductive = !indep
+		out[i].ExplainedBy = explainedBy
 	}
 	return out
 }
@@ -52,7 +75,8 @@ func isRedundant(c pattern.Contrast, alpha float64, memo *supportMemo) bool {
 	if c.Set.Len() < 2 {
 		return false
 	}
-	return redundantByCLT(c.Set, c.Supports, alpha, memo.supports)
+	_, redundant := redundantByCLT(c.Set, c.Supports, alpha, memo.supports)
+	return redundant
 }
 
 // isUnproductive checks Eq. 17 over every binary partition of the itemset:
@@ -116,8 +140,10 @@ func isUnproductive(d *dataset.Dataset, c pattern.Contrast, alpha float64, memo 
 // row), removing the other cause's rows shrinks the minority group far
 // more than the majority, and an unconditional support comparison would
 // wrongly conclude the surviving pattern carries no signal.
+// It returns the canonical key of the first superset that explains the
+// contrast ("" when the contrast stands on its own).
 func isIndependentlyProductive(d *dataset.Dataset, c pattern.Contrast,
-	all []pattern.Contrast, alpha float64) bool {
+	all []pattern.Contrast, alpha float64) (explainedBy string, ok bool) {
 
 	var cover dataset.View
 	haveCover := false
@@ -158,7 +184,7 @@ func isIndependentlyProductive(d *dataset.Dataset, c pattern.Contrast,
 		// (hurricane: every "develops" day has all three conditions), the
 		// pattern is explained by the superset.
 		if universe[x] == 0 {
-			return false
+			return t.Set.Key(), false
 		}
 		// Conditional orientation: within the universe, the original
 		// over-represented group must stay over-represented…
@@ -168,18 +194,18 @@ func isIndependentlyProductive(d *dataset.Dataset, c pattern.Contrast,
 			rateY = float64(remCounts[y]) / float64(universe[y])
 		}
 		if rateX <= rateY {
-			return false
+			return t.Set.Key(), false
 		}
 		// …and significantly so.
 		test, err := stats.ChiSquare2xK(remCounts, universe)
 		if err != nil {
-			return false // no discriminating structure left
+			return t.Set.Key(), false // no discriminating structure left
 		}
 		if test.P >= alpha {
-			return false
+			return t.Set.Key(), false
 		}
 	}
-	return true
+	return "", true
 }
 
 // CountMeaningful tallies a classification: (meaningful, meaningless).

@@ -150,11 +150,11 @@ func TestClassifyProductiveInteraction(t *testing.T) {
 	}
 }
 
-func TestClassifyIndependentProductivityHurricane(t *testing.T) {
-	// The hurricane example of §4.3: three conditions are individually
-	// associated with the group only through their conjunction. The
-	// 1- and 2-item patterns should not be independently productive once
-	// the 3-item pattern is in the list.
+// hurricaneData builds the hurricane example of §4.3: three conditions
+// individually associated with the group only through their conjunction
+// (shared by the classification tests and the explain golden tests).
+func hurricaneData(t *testing.T) *dataset.Dataset {
+	t.Helper()
 	rng := rand.New(rand.NewSource(4))
 	n := 6000
 	temp := make([]string, n)
@@ -183,13 +183,18 @@ func TestClassifyIndependentProductivityHurricane(t *testing.T) {
 			g[i] = "not"
 		}
 	}
-	d := dataset.NewBuilder("hurricane").
+	return dataset.NewBuilder("hurricane").
 		AddCategorical("temp", temp).
 		AddCategorical("depth", depth).
 		AddCategorical("shear", shear).
 		SetGroups(g).
 		MustBuild()
+}
 
+func TestClassifyIndependentProductivityHurricane(t *testing.T) {
+	// The 1- and 2-item patterns should not be independently productive
+	// once the 3-item pattern is in the list.
+	d := hurricaneData(t)
 	all := pattern.NewItemset(item(d, "temp", "yes"), item(d, "depth", "yes"), item(d, "shear", "yes"))
 	single := pattern.NewItemset(item(d, "temp", "yes"))
 	list := []pattern.Contrast{contrastOf(d, all), contrastOf(d, single)}

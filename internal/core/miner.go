@@ -13,6 +13,7 @@ import (
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
 	"sdadcs/internal/topk"
+	"sdadcs/internal/trace"
 )
 
 // Mine runs the full contrast pattern search of the paper over a mixed
@@ -38,10 +39,11 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 		cfg:   &cfg,
 		prune: cfg.pruning(),
 		sizes: d.GroupSizes(),
-		list:  topk.New(cfg.TopK, cfg.scoreFloor()).WithRecorder(cfg.Metrics),
+		list:  topk.New(cfg.TopK, cfg.scoreFloor()).WithRecorder(cfg.Metrics).WithTracer(cfg.Trace),
 		table: make(pruneTable),
 		memo:  newSupportMemo(d),
 		rec:   cfg.Metrics,
+		tr:    cfg.Trace,
 	}
 	if cfg.Counting.bitmap() {
 		// Build the per-(attr,value) bitmaps and per-group masks once per
@@ -86,17 +88,23 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 	res := Result{Stats: m.stats}
 	if cfg.SkipMeaningfulFilter {
 		res.Contrasts = contrasts
-		res.Metrics = m.snapshot()
-		return res, interrupted
-	}
-	meaning := Classify(d, contrasts, cfg.Alpha)
-	for i, c := range contrasts {
-		if meaning[i].Meaningful() {
-			res.Contrasts = append(res.Contrasts, c)
-			res.Meaning = append(res.Meaning, meaning[i])
-		} else {
-			res.Stats.FilteredOut++
+	} else {
+		meaning := Classify(d, contrasts, cfg.Alpha)
+		for i, c := range contrasts {
+			if m.tr.Enabled() {
+				m.tr.Filter(c.Set.Key(), meaning[i].verdict(), c.Score)
+			}
+			if meaning[i].Meaningful() {
+				res.Contrasts = append(res.Contrasts, c)
+				res.Meaning = append(res.Meaning, meaning[i])
+			} else {
+				res.Stats.FilteredOut++
+			}
 		}
+	}
+	if m.tr.Enabled() {
+		m.rec.TraceVolume(m.tr.Stats())
+		res.Trace = m.tr.Snapshot()
 	}
 	res.Metrics = m.snapshot()
 	return res, interrupted
@@ -121,6 +129,9 @@ type miner struct {
 	// shared with every per-level worker goroutine; all its operations
 	// are atomic.
 	rec *metrics.Recorder
+	// tr is the optional decision-event sink (nil = disabled); like rec it
+	// is shared by all workers and lock-free.
+	tr *trace.Tracer
 }
 
 // snapshot captures the final metrics state for Result, or nil when
@@ -257,13 +268,15 @@ func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 	outcomes := make([]nodeOutcome, len(frontier))
 
 	var levelStart time.Time
-	if m.rec.Enabled() {
+	var levelTS int64
+	if m.rec.Enabled() || m.tr.Enabled() {
 		levelStart = time.Now()
+		levelTS = m.tr.Now()
 	}
 
 	if m.cfg.Workers <= 1 {
 		for i := range frontier {
-			outcomes[i] = m.evaluateTimed(level, frontier[i], alpha, threshold)
+			outcomes[i] = m.evaluateTimed(level, 0, frontier[i], alpha, threshold)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -274,7 +287,7 @@ func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 				defer wg.Done()
 				loop := func() {
 					for i := range work {
-						outcomes[i] = m.evaluateTimed(level, frontier[i], alpha, threshold)
+						outcomes[i] = m.evaluateTimed(level, worker, frontier[i], alpha, threshold)
 					}
 				}
 				if m.cfg.PprofLabels {
@@ -314,17 +327,20 @@ func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 		m.rec.LevelObserve(level, len(frontier), len(survivors), contrasts,
 			m.cfg.Workers, time.Since(levelStart))
 	}
+	if m.tr.Enabled() {
+		m.tr.Level(levelTS, level, len(frontier), len(survivors), time.Since(levelStart))
+	}
 	return survivors
 }
 
 // evaluateTimed wraps evaluate with the per-node latency observation; the
 // disabled-recorder path skips both clock reads.
-func (m *miner) evaluateTimed(level int, nd node, alpha, threshold float64) nodeOutcome {
+func (m *miner) evaluateTimed(level, worker int, nd node, alpha, threshold float64) nodeOutcome {
 	if m.rec == nil {
-		return m.evaluate(nd, alpha, threshold)
+		return m.evaluate(level, worker, nd, alpha, threshold)
 	}
 	start := time.Now()
-	o := m.evaluate(nd, alpha, threshold)
+	o := m.evaluate(level, worker, nd, alpha, threshold)
 	m.rec.NodeEval(level, time.Since(start))
 	return o
 }
@@ -334,7 +350,7 @@ func (m *miner) evaluateTimed(level int, nd node, alpha, threshold float64) node
 // top-k additions apply immediately.
 func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 	for _, nd := range nodes {
-		o := m.evaluateTimed(level, nd, alpha, m.list.Threshold())
+		o := m.evaluateTimed(level, 0, nd, alpha, m.list.Threshold())
 		m.stats.add(o.stats)
 		for _, c := range o.contrasts {
 			m.list.Add(c)
@@ -353,9 +369,9 @@ func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 // mutable state (it runs concurrently); memo access is the one exception,
 // guarded by supportMemo's mutex (internal/core/prune.go) — all shared
 // access goes through supportMemo.supports, which locks around its cache.
-func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
+func (m *miner) evaluate(level, worker int, nd node, alpha, threshold float64) nodeOutcome {
 	if len(nd.contAttrs) == 0 {
-		return m.evaluateCategorical(nd, alpha)
+		return m.evaluateCategorical(level, worker, nd, alpha)
 	}
 	run := &sdadRun{
 		d:         m.d,
@@ -369,6 +385,8 @@ func (m *miner) evaluate(nd node, alpha, threshold float64) nodeOutcome {
 		sizes:     m.sizes,
 		totalRows: m.d.Rows(),
 		rec:       m.rec,
+		tr:        m.tr,
+		worker:    worker,
 	}
 	contrasts := run.run(nd.catSet, m.coverView(nd))
 	return nodeOutcome{
@@ -415,17 +433,27 @@ func (m *miner) groupCounts(nd node) []int {
 }
 
 // evaluateCategorical handles a categorical-only node (STUCCO semantics).
-func (m *miner) evaluateCategorical(nd node, alpha float64) nodeOutcome {
+func (m *miner) evaluateCategorical(level, worker int, nd node, alpha float64) nodeOutcome {
 	var o nodeOutcome
-	if m.prune.LookupTable && m.table.hasPrunedSubset(nd.catSet) {
-		m.rec.PruneHit(metrics.PruneLookupTable)
-		o.stats.SpacesPruned++
-		return o
+	if m.prune.LookupTable {
+		if subKey, hit := m.table.prunedSubset(nd.catSet); hit {
+			m.rec.PruneHit(metrics.PruneLookupTable)
+			if m.tr.Enabled() {
+				m.tr.Prune(level, worker, nd.catSet.Key(),
+					metrics.PruneLookupTable.String()+":"+subKey, 0, 0)
+			}
+			o.stats.SpacesPruned++
+			return o
+		}
 	}
 	o.stats.PartitionsEvaluated++
-	sup := pattern.CountsToSupports(m.groupCounts(nd), m.sizes)
+	counts := m.groupCounts(nd)
+	sup := pattern.CountsToSupports(counts, m.sizes)
+	if m.tr.Enabled() {
+		m.tr.Node(level, worker, nd.catSet.Key(), sup.TotalCount(), counts)
+	}
 	dec := evaluatePruning(m.prune, nd.catSet, sup, m.cfg.Delta, alpha,
-		m.d.Rows(), m.memo.supports, m.rec)
+		m.d.Rows(), m.memo.supports, m.rec, m.tr, level, worker)
 	if dec.record && m.prune.LookupTable {
 		o.inserts = append(o.inserts, nd.catSet.Key())
 	}
@@ -436,6 +464,10 @@ func (m *miner) evaluateCategorical(nd node, alpha float64) nodeOutcome {
 	o.survived = !dec.skipChildren
 	if !dec.skipContrast && sup.MaxDiff() > m.cfg.Delta {
 		if test, err := stats.ChiSquare2xK(sup.Count, m.sizes); err == nil && test.P < alpha {
+			if m.tr.Enabled() {
+				m.tr.Emit(level, worker, nd.catSet.Key(),
+					m.cfg.Measure.Eval(sup), test.Statistic, test.P, counts)
+			}
 			o.contrasts = append(o.contrasts, pattern.Contrast{
 				Set:      nd.catSet,
 				Supports: sup,
@@ -443,7 +475,13 @@ func (m *miner) evaluateCategorical(nd node, alpha float64) nodeOutcome {
 				ChiSq:    test.Statistic,
 				P:        test.P,
 			})
+		} else if m.tr.Enabled() {
+			// Large but not significant: the decision the explain path
+			// reports for patterns that never reached the candidate stream.
+			m.tr.Prune(level, worker, nd.catSet.Key(), "not_significant", test.P, alpha)
 		}
+	} else if !dec.skipContrast && m.tr.Enabled() {
+		m.tr.Prune(level, worker, nd.catSet.Key(), "not_large", sup.MaxDiff(), m.cfg.Delta)
 	}
 	return o
 }

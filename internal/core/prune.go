@@ -8,23 +8,25 @@ import (
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
+	"sdadcs/internal/trace"
 )
 
 // pruneTable is the lookup table of §4.1: canonical keys of itemsets found
 // prunable. A space is cut when any subset of its items is present.
 type pruneTable map[string]struct{}
 
-// hasPrunedSubset reports whether any non-empty subset of the itemset's
-// items (including the itemset itself) is recorded. Itemsets are at most
+// prunedSubset returns the key of a recorded non-empty subset of the
+// itemset's items (including the itemset itself), if any — the provenance
+// answer to "which earlier prune killed this space". Itemsets are at most
 // MaxDepth items, so the 2^n subset enumeration is tiny.
-func (t pruneTable) hasPrunedSubset(set pattern.Itemset) bool {
+func (t pruneTable) prunedSubset(set pattern.Itemset) (string, bool) {
 	if len(t) == 0 {
-		return false
+		return "", false
 	}
 	items := set.Items()
 	n := len(items)
 	if n == 0 {
-		return false
+		return "", false
 	}
 	for mask := 1; mask < 1<<uint(n); mask++ {
 		var sub []pattern.Item
@@ -33,11 +35,18 @@ func (t pruneTable) hasPrunedSubset(set pattern.Itemset) bool {
 				sub = append(sub, items[i])
 			}
 		}
-		if _, ok := t[pattern.NewItemset(sub...).Key()]; ok {
-			return true
+		key := pattern.NewItemset(sub...).Key()
+		if _, ok := t[key]; ok {
+			return key, true
 		}
 	}
-	return false
+	return "", false
+}
+
+// hasPrunedSubset reports whether any recorded subset cuts the itemset.
+func (t pruneTable) hasPrunedSubset(set pattern.Itemset) bool {
+	_, ok := t.prunedSubset(set)
+	return ok
 }
 
 // pruneDecision is the outcome of the §4.3 rules for one space.
@@ -58,36 +67,58 @@ type pruneDecision struct {
 // redundancy rule compares the space's support difference against each
 // subset obtained by dropping one item (Eq. 14–16); subset supports are
 // provided by the memoizing suppOf callback. rec (nil = disabled) counts
-// which rule fired; it is safe for concurrent use, so this function stays
-// callable from parallel per-level workers.
+// which rule fired; tr (nil = disabled) additionally records the decision
+// itself — which rule, at what observed statistic, against which bound.
+// Both sinks are safe for concurrent use, so this function stays callable
+// from parallel per-level workers; level/worker only annotate trace
+// events.
 func evaluatePruning(p Pruning, set pattern.Itemset, sup pattern.Supports,
 	delta, alpha float64, totalRows int,
 	suppOf func(pattern.Itemset) pattern.Supports,
-	rec *metrics.Recorder) pruneDecision {
+	rec *metrics.Recorder, tr *trace.Tracer, level, worker int) pruneDecision {
 
 	// Minimum deviation size: no group reaches δ, so neither this space
 	// nor any specialization can be a large contrast.
 	if p.MinDeviation && !sup.LargeIn(delta) {
 		rec.PruneHit(metrics.PruneMinDeviation)
+		if tr.Enabled() {
+			tr.Prune(level, worker, set.Key(), metrics.PruneMinDeviation.String(),
+				maxSupport(sup), delta)
+		}
 		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
 	}
 	// Expected count: statistical tests are invalid below an expected
 	// cell count of 5, and specializations only shrink counts.
-	if p.ExpectedCount && expectedBelow5(sup, totalRows) {
-		rec.PruneHit(metrics.PruneExpectedCount)
-		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+	if p.ExpectedCount {
+		if min := minExpected(sup, totalRows); min < 5 {
+			rec.PruneHit(metrics.PruneExpectedCount)
+			if tr.Enabled() {
+				tr.Prune(level, worker, set.Key(), metrics.PruneExpectedCount.String(), min, 5)
+			}
+			return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+		}
 	}
 	// CLT redundancy: the support difference is statistically the same as
 	// a subset's, so this space (and its supersets) add nothing.
-	if p.RedundancyCLT && set.Len() >= 2 && redundantByCLT(set, sup, alpha, suppOf) {
-		rec.PruneHit(metrics.PruneRedundancyCLT)
-		return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+	if p.RedundancyCLT && set.Len() >= 2 {
+		if det, redundant := redundantByCLT(set, sup, alpha, suppOf); redundant {
+			rec.PruneHit(metrics.PruneRedundancyCLT)
+			if tr.Enabled() {
+				tr.Prune(level, worker, set.Key(),
+					metrics.PruneRedundancyCLT.String()+":"+det.subsetKey,
+					det.diff, det.half)
+			}
+			return pruneDecision{skipContrast: true, skipChildren: true, record: true}
+		}
 	}
 	var d pruneDecision
 	// Pure space: PR = 1 means one group is absent; the space itself is a
 	// fine contrast but adding attributes only produces redundant ones.
 	if p.PureSpace && sup.PR() >= 1 && sup.TotalCount() > 0 {
 		rec.PruneHit(metrics.PrunePureSpace)
+		if tr.Enabled() {
+			tr.Prune(level, worker, set.Key(), metrics.PrunePureSpace.String(), sup.PR(), 1)
+		}
 		d.skipChildren = true
 		d.record = true
 	}
@@ -98,22 +129,47 @@ func evaluatePruning(p Pruning, set pattern.Itemset, sup pattern.Supports,
 		crit := stats.ChiSquareQuantile(1-alpha, len(sup.Size)-1)
 		if bound < crit {
 			rec.PruneHit(metrics.PruneChiSquareOE)
+			if tr.Enabled() {
+				tr.Prune(level, worker, set.Key(), metrics.PruneChiSquareOE.String(), bound, crit)
+			}
 			d.skipChildren = true
 		}
 	}
 	return d
 }
 
-// expectedBelow5 reports whether the smallest expected cell count of the
-// pattern × group contingency table is below 5.
-func expectedBelow5(sup pattern.Supports, totalRows int) bool {
-	covered := sup.TotalCount()
-	for _, gs := range sup.Size {
-		if float64(covered)*float64(gs)/float64(totalRows) < 5 {
-			return true
+// maxSupport returns the largest per-group support — the statistic the
+// minimum-deviation rule tests against δ.
+func maxSupport(sup pattern.Supports) float64 {
+	max := 0.0
+	for g := 0; g < sup.Groups(); g++ {
+		if s := sup.Supp(g); s > max {
+			max = s
 		}
 	}
-	return false
+	return max
+}
+
+// minExpected returns the smallest expected cell count of the
+// pattern × group contingency table (the expected-count rule prunes when
+// it is below 5).
+func minExpected(sup pattern.Supports, totalRows int) float64 {
+	covered := sup.TotalCount()
+	min := math.Inf(1)
+	for _, gs := range sup.Size {
+		if e := float64(covered) * float64(gs) / float64(totalRows); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// cltDetail reports which subset triggered the CLT redundancy rule and
+// at which statistics — the payload of the traced prune decision.
+type cltDetail struct {
+	subsetKey string
+	diff      float64 // the current itemset's support difference
+	half      float64 // the half-width α·sqrt(a+b) of the subset's bound
 }
 
 // redundantByCLT implements the Eq. 14–16 check: for each subset obtained
@@ -130,7 +186,7 @@ func expectedBelow5(sup pattern.Supports, totalRows int) bool {
 // age × hours interaction of Table 1 dilutes to statistical redundancy at
 // the first split level).
 func redundantByCLT(set pattern.Itemset, sup pattern.Supports, alpha float64,
-	suppOf func(pattern.Itemset) pattern.Supports) bool {
+	suppOf func(pattern.Itemset) pattern.Supports) (cltDetail, bool) {
 
 	x, y := extremeGroups(sup)
 	diffCurr := sup.Supp(x) - sup.Supp(y)
@@ -145,10 +201,10 @@ func redundantByCLT(set pattern.Itemset, sup pattern.Supports, alpha float64,
 		b := sub.Supp(y) * (1 - sub.Supp(y)) / float64(sub.Size[y])
 		half := alpha * math.Sqrt(a+b)
 		if diffCurr >= diffSub-half && diffCurr <= diffSub+half {
-			return true
+			return cltDetail{subsetKey: subset.Key(), diff: diffCurr, half: half}, true
 		}
 	}
-	return false
+	return cltDetail{}, false
 }
 
 // extremeGroups returns the groups with the largest and smallest support.

@@ -57,7 +57,7 @@ func TestEvaluatePruningMinDeviation(t *testing.T) {
 	memo := newSupportMemo(d)
 	set := pattern.NewItemset(pattern.RangeItem(0, 0, 10))
 	sup := pattern.SupportsOf(set, d.All()) // ~5% support in A only
-	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil)
+	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil, nil, 1, 0)
 	if !dec.skipChildren || !dec.skipContrast || !dec.record {
 		t.Errorf("low-support space should fully prune: %+v", dec)
 	}
@@ -71,7 +71,7 @@ func TestEvaluatePruningPureSpace(t *testing.T) {
 	if sup.PR() != 1 {
 		t.Fatalf("setup: PR = %v", sup.PR())
 	}
-	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil)
+	dec := evaluatePruning(AllPruning(), set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil, nil, 1, 0)
 	if !dec.skipChildren {
 		t.Error("pure space must not be extended")
 	}
@@ -88,7 +88,7 @@ func TestEvaluatePruningDisabled(t *testing.T) {
 	memo := newSupportMemo(d)
 	set := pattern.NewItemset(pattern.RangeItem(0, 0, 10))
 	sup := pattern.SupportsOf(set, d.All())
-	dec := evaluatePruning(Pruning{}, set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil)
+	dec := evaluatePruning(Pruning{}, set, sup, 0.1, 0.05, d.Rows(), memo.supports, nil, nil, 1, 0)
 	if dec.skipChildren || dec.skipContrast || dec.record {
 		t.Errorf("disabled pruning should pass everything: %+v", dec)
 	}
@@ -101,8 +101,12 @@ func TestRedundantByCLTDetectsSubsumption(t *testing.T) {
 	memo := newSupportMemo(d)
 	set := pattern.NewItemset(item(d, "sex", "female"), item(d, "pregnant", "yes"))
 	sup := memo.supports(set)
-	if !redundantByCLT(set, sup, 0.05, memo.supports) {
+	det, redundant := redundantByCLT(set, sup, 0.05, memo.supports)
+	if !redundant {
 		t.Error("functionally dependent itemset should be CLT-redundant")
+	}
+	if det.subsetKey == "" {
+		t.Error("redundancy detail must name the subsuming subset")
 	}
 }
 
@@ -116,7 +120,7 @@ func TestRedundantByCLTKeepsRealRefinement(t *testing.T) {
 		pattern.RangeItem(1, -1, 0.5),
 	)
 	sup := memo.supports(set)
-	if redundantByCLT(set, sup, 0.05, memo.supports) {
+	if _, redundant := redundantByCLT(set, sup, 0.05, memo.supports); redundant {
 		t.Error("an interacting refinement should not be flagged redundant")
 	}
 }

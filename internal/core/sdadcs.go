@@ -3,11 +3,13 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
+	"sdadcs/internal/trace"
 )
 
 // sdadRun holds the state of one SDAD-CS invocation (Algorithm 1): a fixed
@@ -30,6 +32,10 @@ type sdadRun struct {
 	// rec is the optional instrumentation sink (nil = disabled); shared
 	// across concurrent runs, so only atomic operations.
 	rec *metrics.Recorder
+	// tr is the optional decision-event sink (nil = disabled); worker is
+	// the per-level goroutine index trace events are attributed to.
+	tr     *trace.Tracer
+	worker int
 }
 
 // run executes Algorithm 1 for the given categorical context and returns
@@ -37,8 +43,17 @@ type sdadRun struct {
 func (r *sdadRun) run(catSet pattern.Itemset, catCover dataset.View) []pattern.Contrast {
 	r.stats.SDADCalls++
 	r.rec.SDADCall()
+	var startTS int64
+	var start time.Time
+	if r.tr.Enabled() {
+		startTS = r.tr.Now()
+		start = time.Now()
+	}
 	d := r.explore(catCover, catSet, 1, 0)
 	d = r.merge(d)
+	if r.tr.Enabled() {
+		r.tr.SDAD(startTS, r.worker, catSet.Key(), catCover.Len(), time.Since(start))
+	}
 	return d
 }
 
@@ -65,6 +80,10 @@ func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, par
 				{Lo: med, Hi: cur.Hi},
 			})
 			splits++
+			if r.tr.Enabled() {
+				r.tr.Split(level, r.worker, box.Key(), r.d.Attr(attr).Name,
+					med, cur.Lo, cur.Hi)
+			}
 		} else {
 			choices = append(choices, []pattern.Interval{cur})
 		}
@@ -164,21 +183,31 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 	}
 
 	// Lookup-table check (Line 7).
-	if r.prune.LookupTable && r.table.hasPrunedSubset(childBox) {
-		r.rec.PruneHit(metrics.PruneLookupTable)
-		r.stats.SpacesPruned++
-		return
+	if r.prune.LookupTable {
+		if subKey, hit := r.table.prunedSubset(childBox); hit {
+			r.rec.PruneHit(metrics.PruneLookupTable)
+			if r.tr.Enabled() {
+				r.tr.Prune(level, r.worker, childBox.Key(),
+					metrics.PruneLookupTable.String()+":"+subKey, 0, 0)
+			}
+			r.stats.SpacesPruned++
+			return
+		}
 	}
 
 	// Count supports in the space (Line 10).
 	sub := r.d.Restrict(rows)
 	r.stats.PartitionsEvaluated++
-	sup := pattern.CountsToSupports(sub.GroupCounts(), r.sizes)
+	counts := sub.GroupCounts()
+	sup := pattern.CountsToSupports(counts, r.sizes)
 	score := r.cfg.Measure.Eval(sup)
+	if r.tr.Enabled() {
+		r.tr.Space(level, r.worker, childBox.Key(), sub.Len(), counts)
+	}
 
 	// Pruning rules (§4.3).
 	dec := evaluatePruning(r.prune, childBox, sup, r.cfg.Delta, r.alpha,
-		r.totalRows, r.memo.supports, r.rec)
+		r.totalRows, r.memo.supports, r.rec, r.tr, level, r.worker)
 	if dec.record && r.prune.LookupTable {
 		r.inserts = append(r.inserts, childBox.Key())
 	}
@@ -201,20 +230,40 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 			}
 		} else {
 			r.rec.PruneHit(metrics.PruneOptimisticEstimate)
+			if r.tr.Enabled() {
+				r.tr.Prune(level, r.worker, childBox.Key(),
+					metrics.PruneOptimisticEstimate.String(), oe, r.threshold)
+			}
 		}
 	}
 	if dec.skipContrast || (explored && !r.cfg.RecordExploredSpaces) {
+		if explored && r.tr.Enabled() {
+			// Algorithm 1 keeps the refined children, not the coarse parent.
+			r.tr.Prune(level, r.worker, childBox.Key(), "superseded_by_children",
+				score, parentMeasure)
+		}
 		return
 	}
 
 	// Lines 17–21: record the space when it is large and significant —
 	// immediately if it improves on its parent, tentatively otherwise.
 	if sup.MaxDiff() <= r.cfg.Delta {
+		if r.tr.Enabled() {
+			r.tr.Prune(level, r.worker, childBox.Key(), "not_large",
+				sup.MaxDiff(), r.cfg.Delta)
+		}
 		return
 	}
 	test, err := stats.ChiSquare2xK(sup.Count, r.sizes)
 	if err != nil || test.P >= r.alpha {
+		if r.tr.Enabled() {
+			r.tr.Prune(level, r.worker, childBox.Key(), "not_significant",
+				test.P, r.alpha)
+		}
 		return
+	}
+	if r.tr.Enabled() {
+		r.tr.Emit(level, r.worker, childBox.Key(), score, test.Statistic, test.P, counts)
 	}
 	c := pattern.Contrast{
 		Set:      childBox,
@@ -320,6 +369,7 @@ func (r *sdadRun) tryMerge(a, b pattern.Contrast) (pattern.Contrast, bool) {
 	if !ok {
 		return pattern.Contrast{}, false
 	}
+	merged := a.Set.With(pattern.RangeItem(attr, union.Lo, union.Hi))
 	// Similarity: the two spaces must not differ significantly in their
 	// group composition.
 	table := [][]float64{{}, {}}
@@ -327,22 +377,37 @@ func (r *sdadRun) tryMerge(a, b pattern.Contrast) (pattern.Contrast, bool) {
 		table[0] = append(table[0], float64(a.Supports.Count[g]))
 		table[1] = append(table[1], float64(b.Supports.Count[g]))
 	}
-	if res, err := stats.ChiSquareTable(table); err == nil && res.P < r.alpha {
+	simP := 1.0
+	if res, err := stats.ChiSquareTable(table); err == nil {
+		simP = res.P
+	}
+	if simP < r.alpha {
+		if r.tr.Enabled() {
+			r.tr.Merge(r.worker, merged.Key(), "reject_similarity", simP, 0)
+		}
 		return pattern.Contrast{}, false // significantly different: keep split
 	}
 
-	merged := a.Set.With(pattern.RangeItem(attr, union.Lo, union.Hi))
 	counts := make([]int, len(a.Supports.Count))
 	for g := range counts {
 		counts[g] = a.Supports.Count[g] + b.Supports.Count[g]
 	}
 	sup := pattern.CountsToSupports(counts, r.sizes)
 	if sup.MaxDiff() <= r.cfg.Delta {
+		if r.tr.Enabled() {
+			r.tr.Merge(r.worker, merged.Key(), "reject_largeness", simP, sup.MaxDiff())
+		}
 		return pattern.Contrast{}, false
 	}
 	test, err := stats.ChiSquare2xK(sup.Count, r.sizes)
 	if err != nil || test.P >= r.alpha {
+		if r.tr.Enabled() {
+			r.tr.Merge(r.worker, merged.Key(), "reject_significance", simP, sup.MaxDiff())
+		}
 		return pattern.Contrast{}, false
+	}
+	if r.tr.Enabled() {
+		r.tr.Merge(r.worker, merged.Key(), "merged", simP, sup.MaxDiff())
 	}
 	return pattern.Contrast{
 		Set:      merged,

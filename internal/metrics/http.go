@@ -27,10 +27,15 @@ func Handler(r *Recorder) http.Handler {
 
 // Publish registers the recorder under the given name in the process-wide
 // expvar registry (visible at /debug/vars alongside memstats). expvar
-// panics on duplicate names, so Publish is a no-op when the name is taken.
-func Publish(name string, r *Recorder) {
+// panics on duplicate names, so when the name is already taken Publish
+// leaves the registry untouched and reports false; it reports true when the
+// recorder was registered. Callers that re-publish under a fixed name (e.g.
+// a restarted monitor in the same process) should treat false as "already
+// exported", not as a failure of the recorder itself.
+func Publish(name string, r *Recorder) bool {
 	if expvar.Get(name) != nil {
-		return
+		return false
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return true
 }

@@ -171,6 +171,11 @@ type Recorder struct {
 
 	// Stream monitor window re-mine latency.
 	remine timer
+
+	// Trace-volume counters (fed by core.Mine from trace.Tracer.Stats).
+	traceEmitted   atomic.Uint64
+	traceDropped   atomic.Uint64
+	traceHighWater atomic.Int64
 }
 
 // New returns an enabled recorder with its uptime clock started.
@@ -331,6 +336,27 @@ func (r *Recorder) ThresholdUpdate(v float64) {
 	r.thresholdBits.Store(math.Float64bits(v))
 }
 
+// TraceVolume records the decision-trace volume counters: events offered,
+// events dropped on buffer overflow, and the buffer high-water mark.
+// Emitted/dropped are cumulative tracer-lifetime totals, so Store (not Add)
+// semantics apply; the high-water mark only ratchets upward.
+func (r *Recorder) TraceVolume(emitted, dropped uint64, highWater int) {
+	if r == nil {
+		return
+	}
+	r.traceEmitted.Store(emitted)
+	r.traceDropped.Store(dropped)
+	for {
+		cur := r.traceHighWater.Load()
+		if int64(highWater) <= cur {
+			return
+		}
+		if r.traceHighWater.CompareAndSwap(cur, int64(highWater)) {
+			return
+		}
+	}
+}
+
 // RemineObserve records one stream-monitor window re-mine latency.
 func (r *Recorder) RemineObserve(d time.Duration) {
 	if r == nil {
@@ -391,6 +417,9 @@ type Snapshot struct {
 	Threshold        float64           `json:"threshold"`
 	NodeEval         HistogramSnapshot `json:"node_eval"`
 	Remine           TimerSnapshot     `json:"remine"`
+	TraceEvents      uint64            `json:"trace_events"`
+	TraceDropped     uint64            `json:"trace_dropped"`
+	TraceHighWater   int64             `json:"trace_high_water"`
 }
 
 // PruneHits returns the hit count of a rule in the snapshot (0 when the
@@ -434,6 +463,9 @@ func (r *Recorder) Snapshot() Snapshot {
 		Threshold:        math.Float64frombits(r.thresholdBits.Load()),
 		NodeEval:         r.nodeEval.Snapshot(),
 		Remine:           r.remine.snapshot(),
+		TraceEvents:      r.traceEmitted.Load(),
+		TraceDropped:     r.traceDropped.Load(),
+		TraceHighWater:   r.traceHighWater.Load(),
 	}
 	if !r.start.IsZero() {
 		s.UptimeNanos = int64(time.Since(r.start))

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"expvar"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -303,6 +304,67 @@ func TestWriteJSONNilRecorder(t *testing.T) {
 
 func TestPublishIdempotent(t *testing.T) {
 	r := New()
-	Publish("sdadcs_test_metrics", r)
-	Publish("sdadcs_test_metrics", r) // must not panic on duplicate
+	if !Publish("sdadcs_test_metrics", r) {
+		t.Error("first Publish must register and report true")
+	}
+	if expvar.Get("sdadcs_test_metrics") == nil {
+		t.Fatal("recorder not visible in the expvar registry")
+	}
+	// A duplicate name must not panic (expvar.Publish would) and must
+	// report false so callers can tell the name was already taken.
+	if Publish("sdadcs_test_metrics", New()) {
+		t.Error("second Publish under the same name must report false")
+	}
+	// The registry still serves the first recorder.
+	r.PruneHit(PruneMinDeviation)
+	var got Snapshot
+	if err := json.Unmarshal([]byte(expvar.Get("sdadcs_test_metrics").String()), &got); err != nil {
+		t.Fatalf("published snapshot is not JSON: %v", err)
+	}
+	if got.PruneHits(PruneMinDeviation) != 1 {
+		t.Errorf("published var is not the first recorder: %+v", got.Prune)
+	}
+}
+
+// TestHistogramEdgeDurations pins the bucket boundaries: zero and negative
+// durations land in bucket 0, sub-resolution observations count but add
+// nothing to the total, and exact powers of two open a new bucket
+// (bucketIndex is [2^(i-1), 2^i)).
+func TestHistogramEdgeDurations(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clock skew: counted, not totaled
+	s := h.Snapshot()
+	if s.Count != 2 || s.TotalNanos != 0 {
+		t.Fatalf("count/total = %d/%d, want 2/0", s.Count, s.TotalNanos)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].LoNanos != 0 || s.Buckets[0].HiNanos != 1 {
+		t.Fatalf("non-positive durations must share bucket 0: %+v", s.Buckets)
+	}
+	if s.Mean() != 0 {
+		t.Errorf("mean of zero-total histogram = %v, want 0", s.Mean())
+	}
+
+	// Power-of-two boundaries: 2^k ns is the first duration of bucket k+1.
+	for _, k := range []uint{0, 1, 9, 10, 20} {
+		d := time.Duration(int64(1) << k)
+		if got, want := bucketIndex(d), int(k)+1; got != want {
+			t.Errorf("bucketIndex(2^%d ns) = %d, want %d", k, got, want)
+		}
+		if got, want := bucketIndex(d-1), int(k); d > 1 && got != want {
+			t.Errorf("bucketIndex(2^%d-1 ns) = %d, want %d", k, got, want)
+		}
+	}
+	// 1024ns sits at the bottom of [1024, 2048), not the top of [512, 1024).
+	var b Histogram
+	b.Observe(1024 * time.Nanosecond)
+	bs := b.Snapshot()
+	if len(bs.Buckets) != 1 || bs.Buckets[0].LoNanos != 1024 || bs.Buckets[0].HiNanos != 2048 {
+		t.Errorf("1024ns bucket = %+v, want [1024,2048)", bs.Buckets)
+	}
+
+	// The last bucket is open-ended and absorbs any overflow.
+	if got, want := bucketIndex(time.Duration(1)<<62), numBuckets-1; got != want {
+		t.Errorf("bucketIndex(2^62 ns) = %d, want clamp to %d", got, want)
+	}
 }

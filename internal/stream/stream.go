@@ -242,13 +242,19 @@ func (m *Monitor) remine() ([]Event, error) {
 		return nil, ErrWindowNotMineable
 	}
 	rec := m.cfg.Mining.Metrics
+	tr := m.cfg.Mining.Trace
 	var start time.Time
-	if rec.Enabled() {
+	var startTS int64
+	if rec.Enabled() || tr.Enabled() {
 		start = time.Now()
+		startTS = tr.Now()
 	}
 	res := core.Mine(d, m.cfg.Mining)
 	if rec.Enabled() {
 		rec.RemineObserve(time.Since(start))
+	}
+	if tr.Enabled() {
+		tr.Remine(startTS, d.Rows(), len(res.Contrasts), time.Since(start))
 	}
 	m.mines++
 	events := m.diff(d, res.Contrasts)

@@ -10,6 +10,7 @@ import (
 
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
+	"sdadcs/internal/trace"
 )
 
 // List is a bounded best-k collection of contrasts keyed by itemset, with a
@@ -20,6 +21,7 @@ type List struct {
 	h     scoreHeap
 	keys  map[string]int // itemset key -> heap index
 	rec   *metrics.Recorder
+	tr    *trace.Tracer
 }
 
 // New returns a list keeping the k highest-scoring contrasts, with delta as
@@ -35,6 +37,16 @@ func New(k int, delta float64) *List {
 // observation. Returns the list for chaining.
 func (l *List) WithRecorder(r *metrics.Recorder) *List {
 	l.rec = r
+	return l
+}
+
+// WithTracer attaches a decision-event sink that records every list
+// transition — admissions, replacements, evictions and rejections — with
+// the threshold before and after (the provenance of "why is this pattern
+// not in the top-k"). nil (the default) disables the events. Returns the
+// list for chaining.
+func (l *List) WithTracer(t *trace.Tracer) *List {
+	l.tr = t
 	return l
 }
 
@@ -58,46 +70,61 @@ func (l *List) Threshold() float64 {
 // least δ. A contrast whose itemset is already present replaces the stored
 // entry when its score is higher. It reports whether the list changed.
 func (l *List) Add(c pattern.Contrast) bool {
-	if l.rec != nil {
-		before := l.Threshold()
-		changed := l.add(c)
-		if after := l.Threshold(); changed && after != before {
-			l.rec.ThresholdUpdate(after)
-		}
+	if l.rec == nil && l.tr == nil {
+		changed, _, _ := l.add(c)
 		return changed
 	}
-	return l.add(c)
+	before := l.Threshold()
+	changed, evicted, verdict := l.add(c)
+	after := l.Threshold()
+	if l.rec != nil && changed && after != before {
+		l.rec.ThresholdUpdate(after)
+	}
+	if l.tr.Enabled() {
+		if verdict == "rejected" {
+			// V2 carries the score that failed admission (see trace.KindTopK).
+			l.tr.TopK(c.Set.Key(), verdict, before, c.Score)
+		} else {
+			l.tr.TopK(c.Set.Key(), verdict, before, after)
+		}
+		if evicted != "" {
+			l.tr.TopK(evicted, "evicted", before, after)
+		}
+	}
+	return changed
 }
 
-func (l *List) add(c pattern.Contrast) bool {
+// add performs the list transition and names it in the KindTopK verdict
+// vocabulary; evicted is the key pushed out to make room (if any).
+func (l *List) add(c pattern.Contrast) (changed bool, evicted, verdict string) {
 	key := c.Set.Key()
 	if idx, ok := l.keys[key]; ok {
 		if c.Score <= l.h.items[idx].Score {
-			return false
+			return false, "", "rejected"
 		}
 		l.h.items[idx] = entry{Contrast: c, key: key}
 		heap.Fix(&l.h, idx)
 		l.reindex()
-		return true
+		return true, "", "replaced"
 	}
 	if l.k > 0 && len(l.h.items) >= l.k {
 		if c.Score <= l.h.items[0].Score {
-			return false
+			return false, "", "rejected"
 		}
-		evicted := l.h.items[0].key
+		evicted = l.h.items[0].key
 		l.h.items[0] = entry{Contrast: c, key: key}
 		delete(l.keys, evicted)
 		l.keys[key] = 0
 		heap.Fix(&l.h, 0)
 		l.reindex()
-		return true
+		return true, evicted, "admitted"
 	}
 	if c.Score < l.delta {
-		return false
+		return false, "", "rejected"
 	}
 	heap.Push(&l.h, entry{Contrast: c, key: key})
 	l.reindex()
-	return true
+	return true, "", "admitted"
 }
 
 // reindex rebuilds the key -> heap index map after heap movement. The heap

@@ -1,0 +1,34 @@
+package trace
+
+// Index is the pattern-provenance index: every event that names a
+// canonical itemset key, grouped per key in sequence order. It powers the
+// explain query path (core.Explain / `cmd/contrast -explain`).
+type Index struct {
+	byKey map[string][]Event
+	order []Event // all events, sequence order
+}
+
+// NewIndex builds the provenance index of a trace.
+func NewIndex(tr *Trace) *Index {
+	ix := &Index{byKey: make(map[string][]Event)}
+	if tr == nil {
+		return ix
+	}
+	ix.order = tr.Events
+	for _, e := range tr.Events {
+		if e.Key != "" {
+			ix.byKey[e.Key] = append(ix.byKey[e.Key], e)
+		}
+	}
+	return ix
+}
+
+// Events returns the decision chain recorded for a canonical itemset key,
+// in sequence order (nil when the pattern never generated an event).
+func (ix *Index) Events(key string) []Event { return ix.byKey[key] }
+
+// Keys reports how many distinct patterns have provenance.
+func (ix *Index) Keys() int { return len(ix.byKey) }
+
+// All returns every event in sequence order.
+func (ix *Index) All() []Event { return ix.order }

@@ -16,6 +16,7 @@ import (
 	"sdadcs/internal/stream"
 	"sdadcs/internal/stucco"
 	"sdadcs/internal/subgroup"
+	"sdadcs/internal/trace"
 )
 
 // Core data types.
@@ -73,6 +74,21 @@ type (
 	// split/box/merge counters, top-k threshold dynamics, re-mine
 	// latency.
 	MetricsSnapshot = metrics.Snapshot
+
+	// Tracer is the decision-level event sink: set Config.Trace to record
+	// why each pattern was emitted, pruned, merged or filtered. A nil
+	// tracer disables tracing with the same one-pointer-check discipline
+	// as MetricsRecorder.
+	Tracer = trace.Tracer
+	// Trace is a snapshot of a tracer's event buffer (Result.Trace),
+	// exportable as JSONL or Chrome trace-event JSON and queryable via
+	// Explain.
+	Trace = trace.Trace
+	// TraceEvent is one traced decision.
+	TraceEvent = trace.Event
+	// Explanation is the provenance answer for one pattern: its verdict
+	// and the exact decision chain recorded about it.
+	Explanation = core.Explanation
 )
 
 // Attribute kinds.
@@ -152,6 +168,34 @@ func WriteMetrics(w io.Writer, r *MetricsRecorder) error { return metrics.WriteJ
 // MetricsHandler serves a recorder's snapshot as JSON — mount it on any
 // mux for a live metrics endpoint (cmd/monitor -metrics does this).
 func MetricsHandler(r *MetricsRecorder) http.Handler { return metrics.Handler(r) }
+
+// NewTracer returns an enabled decision tracer with the given event
+// capacity (0 = the 65536-event default); assign it to Config.Trace
+// (and/or StreamConfig.Mining.Trace), then read Result.Trace.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// WriteTraceJSONL writes a trace as JSON Lines: one event per line, fixed
+// field order, append-friendly across stream-window segments.
+func WriteTraceJSONL(w io.Writer, tr *Trace) error { return trace.WriteJSONL(w, tr) }
+
+// ReadTraceJSONL decodes a JSONL trace stream (possibly a concatenation of
+// segments) back into a Trace.
+func ReadTraceJSONL(r io.Reader) (*Trace, error) { return trace.ReadJSONL(r) }
+
+// WriteTraceChrome writes a trace in the Chrome trace-event format —
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing, with search
+// levels and SDAD-CS invocations as duration spans and per-level workers
+// as threads.
+func WriteTraceChrome(w io.Writer, tr *Trace) error { return trace.WriteChrome(w, tr) }
+
+// Explain reconstructs the recorded decision chain for one itemset from a
+// mining trace: the provenance answer to "why is this pattern (not) in the
+// result". Render with Explanation.Format.
+func Explain(tr *Trace, set Itemset) Explanation { return core.Explain(tr, set) }
+
+// ParseItemsetKey inverts Itemset.Key — the canonical keys trace events
+// carry.
+func ParseItemsetKey(key string) (Itemset, error) { return pattern.ParseKey(key) }
 
 // MineContext is Mine with cancellation: the search checks ctx between
 // levels and returns the (sorted, filtered) contrasts found so far plus

@@ -2,6 +2,7 @@ package sdadcs_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -187,5 +188,87 @@ func TestPruningPresets(t *testing.T) {
 	np := sdadcs.NPPruning()
 	if !all.RedundancyCLT || np.RedundancyCLT {
 		t.Error("presets wrong")
+	}
+}
+
+// TestPublicAPITraceEndToEnd drives the whole tracing surface through the
+// facade: a traced mine yields exactly the contrasts of an untraced one,
+// Result.Trace holds the decision record, the top pattern's provenance is
+// reconstructible from its canonical key alone, and both exporters accept
+// the snapshot.
+func TestPublicAPITraceEndToEnd(t *testing.T) {
+	d := loadSample(t)
+	base := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})
+	if base.Trace != nil {
+		t.Fatal("untraced mine carries a trace snapshot")
+	}
+
+	cfg := sdadcs.Config{Measure: sdadcs.SurprisingMeasure, Trace: sdadcs.NewTracer(0)}
+	res := sdadcs.Mine(d, cfg)
+	if res.Trace == nil || len(res.Trace.Events) == 0 {
+		t.Fatal("traced mine recorded no events")
+	}
+	if res.Trace.Dropped != 0 {
+		t.Errorf("default capacity dropped %d events", res.Trace.Dropped)
+	}
+	// Tracing must not perturb the mining result.
+	if len(res.Contrasts) != len(base.Contrasts) {
+		t.Fatalf("traced mine found %d contrasts, untraced %d",
+			len(res.Contrasts), len(base.Contrasts))
+	}
+	for i := range res.Contrasts {
+		if res.Contrasts[i].Set.Key() != base.Contrasts[i].Set.Key() ||
+			res.Contrasts[i].Score != base.Contrasts[i].Score {
+			t.Errorf("contrast %d diverged under tracing", i)
+		}
+	}
+
+	// Provenance via the canonical key: round-trip the top pattern's key
+	// (continuous bounds use the exact binary encoding) and explain it.
+	top := res.Contrasts[0]
+	set, err := sdadcs.ParseItemsetKey(top.Set.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Key() != top.Set.Key() {
+		t.Errorf("key round trip broke: %q -> %q", top.Set.Key(), set.Key())
+	}
+	x := sdadcs.Explain(res.Trace, set)
+	if x.Verdict != "emitted" {
+		t.Errorf("top contrast explains as %q, want emitted", x.Verdict)
+	}
+	if !strings.Contains(x.Format(d), "verdict: emitted") {
+		t.Errorf("Format output missing verdict: %q", x.Format(d))
+	}
+
+	// Exporters: JSONL round-trips event-for-event, Chrome is valid JSON.
+	var jl bytes.Buffer
+	if err := sdadcs.WriteTraceJSONL(&jl, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sdadcs.ReadTraceJSONL(&jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(res.Trace.Events) {
+		t.Errorf("JSONL round trip lost events: %d -> %d",
+			len(res.Trace.Events), len(back.Events))
+	}
+	var ch bytes.Buffer
+	if err := sdadcs.WriteTraceChrome(&ch, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(ch.Bytes()) {
+		t.Error("Chrome export is not valid JSON")
+	}
+
+	// Trace volume surfaces in the metrics snapshot when both are on.
+	rec := sdadcs.NewMetricsRecorder()
+	cfg.Metrics = rec
+	cfg.Trace = sdadcs.NewTracer(0)
+	sdadcs.Mine(d, cfg)
+	snap := rec.Snapshot()
+	if snap.TraceEvents == 0 || snap.TraceHighWater == 0 {
+		t.Errorf("metrics snapshot missing trace volume: %+v", snap)
 	}
 }
