@@ -1,0 +1,107 @@
+// Command serve runs the long-lived mining service: register CSV datasets
+// once, then submit asynchronous mine jobs against them over a JSON HTTP
+// API with admission control, per-job deadlines and a deduplicating result
+// cache (see internal/serve for the endpoint inventory).
+//
+// Usage:
+//
+//	serve -addr :8377 [-workers N] [-queue N] [-row-budget N] [-grace 10s]
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, running
+// jobs get the grace period to finish, then their contexts are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdadcs/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8377", "listen address")
+		workers   = fs.Int("workers", 0, "mining worker-pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 64, "pending-job queue depth (full queue => 429)")
+		rowBudget = fs.Int("row-budget", 0, "dataset registry row budget; LRU eviction past it (0 = unbounded)")
+		cacheN    = fs.Int("cache", 128, "result-cache entries")
+		timeout   = fs.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+		grace     = fs.Duration("grace", 10*time.Second, "drain grace for running jobs on shutdown")
+		maxUpload = fs.Int64("max-upload", 64<<20, "maximum dataset registration body in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dt := *timeout
+	if dt == 0 {
+		dt = -1 // Options treats 0 as "use default"; negative means none.
+	}
+	s := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RowBudget:      *rowBudget,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: dt,
+		MaxUploadBytes: *maxUpload,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "serve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "serve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// No blanket WriteTimeout: result bodies and trace exports can be
+		// large; the header timeout plus the job deadlines bound abuse.
+		IdleTimeout: 60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stderr, "serve: signal received, draining")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "serve:", err)
+			return 1
+		}
+	}
+
+	// Drain order: stop accepting HTTP first (in-flight responses get the
+	// grace window too), then drain the job manager — running mines get the
+	// same grace before their contexts are canceled.
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		_ = srv.Close()
+	}
+	s.Close(*grace)
+	fmt.Fprintln(stdout, "serve: drained")
+	return 0
+}

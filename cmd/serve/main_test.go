@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the binary's run() on an ephemeral port,
+// registers a dataset and runs one job through the HTTP API, then delivers
+// SIGINT to the process and checks run() exits 0 with the drain message.
+func TestRunServesAndDrains(t *testing.T) {
+	var stdout, stderr safeBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-grace", "5s"}, &stdout, &stderr)
+	}()
+
+	// The listen line carries the resolved port.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+				base = "http://" + strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	// One end-to-end job through the real binary wiring.
+	reg, err := json.Marshal(map[string]any{
+		"name":         "mini",
+		"group_column": "g",
+		"csv":          "x,tool,g\n1,a,pass\n2,a,pass\n8,b,fail\n9,b,fail\n1.5,a,pass\n8.5,b,fail\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/datasets", "application/json", bytes.NewReader(reg))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var ds struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatalf("register decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || ds.ID == "" {
+		t.Fatalf("register status=%d id=%q", resp.StatusCode, ds.ID)
+	}
+
+	job, _ := json.Marshal(map[string]any{"dataset_id": ds.ID})
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(job))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("submit decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	for i := 0; ; i++ {
+		resp, err = http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("poll decode: %v", err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" || i > 500 {
+			t.Fatalf("job state = %s after %d polls", st.State, i)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Self-signal: run() should drain and return 0.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run() = %d; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run() did not exit after SIGINT")
+	}
+	if !strings.Contains(stdout.String(), "serve: drained") {
+		t.Fatalf("missing drain message; stdout=%q", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &out); code != 2 {
+		t.Fatalf("run() = %d, want 2", code)
+	}
+}
+
+func TestRunListenError(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:1"}, &out, &out); code != 1 {
+		t.Fatalf("run() = %d, want 1 (output %q)", code, out.String())
+	}
+}
+
+// safeBuffer is a bytes.Buffer safe for the writer goroutine + reader poll.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

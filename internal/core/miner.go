@@ -33,8 +33,12 @@ func Mine(d *dataset.Dataset, cfg Config) Result {
 // cancelled. A partial result is still sorted and, unless disabled,
 // filtered.
 func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	cfg.defaults()
 	m := &miner{
+		ctx:   ctx,
 		d:     d,
 		cfg:   &cfg,
 		prune: cfg.pruning(),
@@ -84,6 +88,13 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 		}
 	}
 
+	if interrupted == nil {
+		// Cancellation can also land mid-level (the per-node and SDAD-CS
+		// checks stop work early without reporting through the level loop);
+		// surface it so callers can tell a partial result from a full one.
+		interrupted = ctx.Err()
+	}
+
 	contrasts := m.list.Contrasts()
 	res := Result{Stats: m.stats}
 	if cfg.SkipMeaningfulFilter {
@@ -112,6 +123,11 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 
 // miner holds the shared state of one Mine call.
 type miner struct {
+	// ctx is the mining context: checked between levels, between nodes
+	// inside a level, and inside the SDAD-CS recursion and merge loop so a
+	// cancelled job stops promptly even mid-level. nil means "never
+	// cancelled" (direct construction in tests).
+	ctx   context.Context
 	d     *dataset.Dataset
 	cfg   *Config
 	prune Pruning
@@ -132,6 +148,13 @@ type miner struct {
 	// tr is the optional decision-event sink (nil = disabled); like rec it
 	// is shared by all workers and lock-free.
 	tr *trace.Tracer
+}
+
+// cancelled reports whether the mining context has been cancelled; a nil
+// context never is. One atomic-ish pointer check plus ctx.Err() keeps it
+// cheap enough for per-node and per-recursion-round call sites.
+func (m *miner) cancelled() bool {
+	return m.ctx != nil && m.ctx.Err() != nil
 }
 
 // snapshot captures the final metrics state for Result, or nil when
@@ -276,6 +299,9 @@ func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 
 	if m.cfg.Workers <= 1 {
 		for i := range frontier {
+			if m.cancelled() {
+				break
+			}
 			outcomes[i] = m.evaluateTimed(level, 0, frontier[i], alpha, threshold)
 		}
 	} else {
@@ -287,6 +313,9 @@ func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 				defer wg.Done()
 				loop := func() {
 					for i := range work {
+						if m.cancelled() {
+							continue // keep draining so the producer never blocks
+						}
 						outcomes[i] = m.evaluateTimed(level, worker, frontier[i], alpha, threshold)
 					}
 				}
@@ -350,6 +379,9 @@ func (m *miner) evaluateTimed(level, worker int, nd node, alpha, threshold float
 // top-k additions apply immediately.
 func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 	for _, nd := range nodes {
+		if m.cancelled() {
+			return
+		}
 		o := m.evaluateTimed(level, 0, nd, alpha, m.list.Threshold())
 		m.stats.add(o.stats)
 		for _, c := range o.contrasts {
@@ -374,6 +406,7 @@ func (m *miner) evaluate(level, worker int, nd node, alpha, threshold float64) n
 		return m.evaluateCategorical(level, worker, nd, alpha)
 	}
 	run := &sdadRun{
+		ctx:       m.ctx,
 		d:         m.d,
 		cfg:       m.cfg,
 		prune:     m.prune,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -16,6 +17,11 @@ import (
 // categorical context catSet, the continuous attributes being jointly
 // discretized, and the thresholds in force.
 type sdadRun struct {
+	// ctx is the mining context. A joint discretization can recurse and
+	// merge long after the per-level check in miner.go has passed, so
+	// cancellation is re-checked per split round (explore) and per merge
+	// round (merge); nil means "never cancelled".
+	ctx       context.Context
 	d         *dataset.Dataset
 	cfg       *Config
 	prune     Pruning
@@ -62,7 +68,7 @@ func (r *sdadRun) run(catSet pattern.Itemset, catCover dataset.View) []pattern.C
 // (find_combs), and for each box decide — via the optimistic estimate —
 // whether to recurse, to record a contrast, or to stop.
 func (r *sdadRun) explore(view dataset.View, box pattern.Itemset, level int, parentMeasure float64) []pattern.Contrast {
-	if level > r.cfg.MaxRecursion || view.Len() < 2 {
+	if level > r.cfg.MaxRecursion || view.Len() < 2 || r.cancelled() {
 		return nil
 	}
 
@@ -279,6 +285,12 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 	}
 }
 
+// cancelled reports whether the run's context has been cancelled; a nil
+// context never is.
+func (r *sdadRun) cancelled() bool {
+	return r.ctx != nil && r.ctx.Err() != nil
+}
+
 // currentRange returns the box's interval on attr, or the full range.
 func currentRange(box pattern.Itemset, attr int) pattern.Interval {
 	if it, ok := box.ItemOn(attr); ok {
@@ -319,6 +331,12 @@ func (r *sdadRun) merge(d []pattern.Contrast) []pattern.Contrast {
 	type pairKey struct{ a, b string }
 	failed := make(map[pairKey]struct{})
 	for {
+		if r.cancelled() {
+			// A merge-heavy window can spend quadratic work per round; a
+			// cancelled job returns the spaces merged so far instead of
+			// finishing the rescan.
+			return spaces
+		}
 		merged := false
 	outer:
 		for i := 0; i < len(spaces); i++ {

@@ -99,29 +99,46 @@ type JSONItem struct {
 	Hi        *float64 `json:"hi,omitempty"`
 }
 
-// JSONContrast is the machine-readable form of one mined pattern.
+// JSONGroup is one group's support of a pattern. Groups appear in dataset
+// group order (not alphabetically), so the encoding is stable and the
+// group arrays of every contrast are parallel.
+type JSONGroup struct {
+	Group   string  `json:"group"`
+	Support float64 `json:"support"`
+	Count   int     `json:"count"`
+}
+
+// JSONContrast is the machine-readable form of one mined pattern. Field
+// order here is field order on the wire (encoding/json emits struct fields
+// in declaration order), and groups are an ordered array rather than a
+// map: two renderings of the same result are byte-identical, which is what
+// lets the serving layer's result cache hand back cached bytes that are
+// indistinguishable from a fresh mine. Key is the pattern's canonical
+// itemset key — the handle the trace/explain endpoints accept.
 type JSONContrast struct {
-	Rank     int                `json:"rank"`
-	Items    []JSONItem         `json:"items"`
-	Supports map[string]float64 `json:"supports"`
-	Counts   map[string]int     `json:"counts"`
-	Score    float64            `json:"score"`
-	ChiSq    float64            `json:"chi2"`
-	P        float64            `json:"p"`
+	Rank   int         `json:"rank"`
+	Key    string      `json:"key"`
+	Items  []JSONItem  `json:"items"`
+	Groups []JSONGroup `json:"groups"`
+	Score  float64     `json:"score"`
+	ChiSq  float64     `json:"chi2"`
+	P      float64     `json:"p"`
 }
 
 // JSON writes the contrasts as a JSON array with items decomposed into
-// attribute/kind/value/range fields, suitable for downstream tooling.
+// attribute/kind/value/range fields, suitable for downstream tooling. The
+// output is deterministic: byte-identical for equal inputs (fixed field
+// order, group order = dataset group order, contrasts in the caller's
+// order, which the miner already makes deterministic).
 func JSON(w io.Writer, d *dataset.Dataset, cs []pattern.Contrast) error {
 	out := make([]JSONContrast, len(cs))
 	for i, c := range cs {
 		jc := JSONContrast{
-			Rank:     i + 1,
-			Supports: map[string]float64{},
-			Counts:   map[string]int{},
-			Score:    c.Score,
-			ChiSq:    c.ChiSq,
-			P:        c.P,
+			Rank:  i + 1,
+			Key:   c.Set.Key(),
+			Score: c.Score,
+			ChiSq: c.ChiSq,
+			P:     c.P,
 		}
 		for _, it := range c.Set.Items() {
 			ji := JSONItem{Attribute: d.Attr(it.Attr).Name}
@@ -142,8 +159,11 @@ func JSON(w io.Writer, d *dataset.Dataset, cs []pattern.Contrast) error {
 			jc.Items = append(jc.Items, ji)
 		}
 		for g := 0; g < d.NumGroups(); g++ {
-			jc.Supports[d.GroupName(g)] = c.Supports.Supp(g)
-			jc.Counts[d.GroupName(g)] = c.Supports.Count[g]
+			jc.Groups = append(jc.Groups, JSONGroup{
+				Group:   d.GroupName(g),
+				Support: c.Supports.Supp(g),
+				Count:   c.Supports.Count[g],
+			})
 		}
 		out[i] = jc
 	}

@@ -125,8 +125,12 @@ func TestJSON(t *testing.T) {
 	if first.Items[1].Value != "A" {
 		t.Errorf("categorical value = %q", first.Items[1].Value)
 	}
-	if first.Supports["good"] != 0.5 || first.Counts["good"] != 1 {
-		t.Errorf("supports/counts wrong: %+v", first)
+	if len(first.Groups) != 2 || first.Groups[0].Group != "good" ||
+		first.Groups[0].Support != 0.5 || first.Groups[0].Count != 1 {
+		t.Errorf("groups wrong: %+v", first.Groups)
+	}
+	if first.Key == "" {
+		t.Error("missing canonical pattern key")
 	}
 }
 
@@ -154,5 +158,90 @@ func TestEmptyContrasts(t *testing.T) {
 		if err := Write(&buf, f, d, nil); err != nil {
 			t.Errorf("format %q on empty list: %v", f, err)
 		}
+	}
+}
+
+// TestJSONGolden pins the exact byte encoding of the JSON report: field
+// order, group order (dataset order, not alphabetical), indentation, and
+// the canonical pattern key. The serving layer's result cache hands back
+// stored bytes for repeated queries, so any re-rendering must reproduce
+// them exactly — if this test breaks, the wire format changed and the
+// byte-identity guarantee of cache hits changed with it.
+func TestJSONGolden(t *testing.T) {
+	d, cs := sample(t)
+	const want = `[
+  {
+    "rank": 1,
+    "key": "0@-inf,4925812092436480p-47|1=0",
+    "items": [
+      {
+        "attribute": "age",
+        "kind": "continuous",
+        "hi": 35
+      },
+      {
+        "attribute": "site",
+        "kind": "categorical",
+        "value": "A"
+      }
+    ],
+    "groups": [
+      {
+        "group": "good",
+        "support": 0.5,
+        "count": 1
+      },
+      {
+        "group": "bad",
+        "support": 0,
+        "count": 0
+      }
+    ],
+    "score": 0.5,
+    "chi2": 4.2,
+    "p": 0.04
+  },
+  {
+    "rank": 2,
+    "key": "0@4925812092436480p-47,inf",
+    "items": [
+      {
+        "attribute": "age",
+        "kind": "continuous",
+        "lo": 35
+      }
+    ],
+    "groups": [
+      {
+        "group": "good",
+        "support": 0,
+        "count": 0
+      },
+      {
+        "group": "bad",
+        "support": 1,
+        "count": 2
+      }
+    ],
+    "score": 1,
+    "chi2": 8.1,
+    "p": 0.004
+  }
+]
+`
+	var first bytes.Buffer
+	if err := JSON(&first, d, cs); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", first.String(), want)
+	}
+	// Determinism: a second rendering is byte-identical.
+	var second bytes.Buffer
+	if err := JSON(&second, d, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("two renderings of the same result differ")
 	}
 }

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"sdadcs/internal/core"
+	"sdadcs/internal/metrics"
+	"sdadcs/internal/trace"
+)
+
+// mineOutput is everything one Mine execution produced that later requests
+// may want: the deterministic report bytes (byte-identical across cache
+// hits — pinned by the report golden test), the contrast count, the run
+// statistics, and the trace/metrics snapshots backing the /trace, /explain
+// and progress endpoints of deduplicated or cache-hit jobs.
+type mineOutput struct {
+	JSON      []byte
+	Contrasts int
+	Stats     core.Stats
+	Trace     *trace.Trace
+	Metrics   *metrics.Snapshot
+}
+
+// resultCache maps (dataset hash, canonical config hash) to mineOutput,
+// LRU-bounded by entry count. Everything stored is immutable after
+// insertion, so readers share entries without copying.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheSlot struct {
+	key string
+	out *mineOutput
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	return &resultCache{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *resultCache) get(key string) (*mineOutput, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).out, true
+}
+
+func (c *resultCache) put(key string, out *mineOutput) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheSlot).out = out
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheSlot{key: key, out: out})
+	for len(c.entries) > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheSlot).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,226 @@
+// Package serve is the long-lived mining service: a dataset registry that
+// parses CSVs and builds bitmap indexes once, an async job manager with a
+// bounded worker pool and per-job deadlines, a result cache with
+// singleflight deduplication, and the HTTP JSON API tying them together
+// (cmd/serve). It is the deployment shape of the paper's §6 production
+// story — index build and scan dominate per-query cost, so a shared
+// service amortizes them across requests the way Facebook's continuous
+// contrast-set-mining deployment does.
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sdadcs/internal/dataset"
+)
+
+// DatasetInfo is the registry's public record of one dataset.
+type DatasetInfo struct {
+	// ID is the content-hash address: "ds_" + 16 hex bytes of the SHA-256
+	// over the CSV bytes and the parse options. Registering the same bytes
+	// twice yields the same ID (and reuses the parsed dataset).
+	ID string `json:"id"`
+	// Name is the caller-supplied display name.
+	Name string `json:"name"`
+	// Rows, Attrs, Groups describe the parsed table.
+	Rows   int      `json:"rows"`
+	Attrs  int      `json:"attrs"`
+	Groups []string `json:"groups"`
+	// RegisteredAt is the first registration time.
+	RegisteredAt time.Time `json:"registered_at"`
+}
+
+// dsEntry is one registry slot.
+type dsEntry struct {
+	info DatasetInfo
+	ds   *dataset.Dataset
+	// pins counts jobs currently holding the dataset (queued or running).
+	// Pinned entries are never evicted, so a mine in flight keeps its
+	// dataset addressable for result rendering and explain queries.
+	pins int
+	elem *list.Element // position in the LRU order
+}
+
+// Registry holds parsed datasets, content-hash addressed and LRU-bounded
+// by a total row budget. Reads are concurrent-safe; the per-(attr,value)
+// bitmap index is built lazily by the first Mine against the dataset and
+// cached inside the miner per call — what the registry amortizes is CSV
+// parsing, column building and domain coding, which dominate registration.
+type Registry struct {
+	mu        sync.Mutex
+	budget    int // max total rows across entries; 0 = unbounded
+	totalRows int
+	entries   map[string]*dsEntry
+	order     *list.List // front = most recently used
+	evictions int64
+}
+
+// NewRegistry builds a registry evicting least-recently-used datasets once
+// the sum of registered rows exceeds rowBudget (0 = unbounded).
+func NewRegistry(rowBudget int) *Registry {
+	return &Registry{
+		budget:  rowBudget,
+		entries: make(map[string]*dsEntry),
+		order:   list.New(),
+	}
+}
+
+// hashDataset derives the content address from the parse-relevant inputs.
+func hashDataset(csvData []byte, groupColumn string, forceCategorical []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "group=%s;", groupColumn)
+	forced := append([]string(nil), forceCategorical...)
+	sort.Strings(forced)
+	for _, f := range forced {
+		fmt.Fprintf(h, "cat=%s;", f)
+	}
+	h.Write(csvData)
+	return "ds_" + hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Register parses a CSV and stores the dataset under its content hash.
+// Re-registering identical content is idempotent: the existing entry is
+// touched (LRU) and returned without re-parsing. The new entry is exempt
+// from its own eviction round, so a single dataset larger than the budget
+// still registers (and is evicted only when something else arrives).
+func (r *Registry) Register(name string, csvData []byte, groupColumn string, forceCategorical []string) (DatasetInfo, error) {
+	id := hashDataset(csvData, groupColumn, forceCategorical)
+
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		r.order.MoveToFront(e.elem)
+		info := e.info
+		r.mu.Unlock()
+		return info, nil
+	}
+	r.mu.Unlock()
+
+	// Parse outside the lock: CSV building is the expensive part and must
+	// not serialize readers. A racing duplicate registration parses twice
+	// and keeps the first entry — wasteful but correct, and only possible
+	// for concurrent uploads of identical bytes.
+	if name == "" {
+		name = "csv"
+	}
+	d, err := dataset.FromCSV(bytes.NewReader(csvData), dataset.CSVOptions{
+		GroupColumn:      groupColumn,
+		ForceCategorical: forceCategorical,
+		Name:             name,
+	})
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	groups := make([]string, d.NumGroups())
+	for g := range groups {
+		groups[g] = d.GroupName(g)
+	}
+	info := DatasetInfo{
+		ID:           id,
+		Name:         name,
+		Rows:         d.Rows(),
+		Attrs:        d.NumAttrs(),
+		Groups:       groups,
+		RegisteredAt: time.Now().UTC(),
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[id]; ok { // lost the race: keep the first
+		r.order.MoveToFront(e.elem)
+		return e.info, nil
+	}
+	e := &dsEntry{info: info, ds: d}
+	e.elem = r.order.PushFront(id)
+	r.entries[id] = e
+	r.totalRows += info.Rows
+	r.evictLocked(id)
+	return info, nil
+}
+
+// evictLocked drops least-recently-used, unpinned entries until the row
+// budget holds again; keep is never evicted.
+func (r *Registry) evictLocked(keep string) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.totalRows > r.budget {
+		var victim *dsEntry
+		for el := r.order.Back(); el != nil; el = el.Prev() {
+			id := el.Value.(string)
+			if id == keep {
+				continue
+			}
+			if e := r.entries[id]; e.pins == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything else pinned or only the newcomer left
+		}
+		r.order.Remove(victim.elem)
+		delete(r.entries, victim.info.ID)
+		r.totalRows -= victim.info.Rows
+		r.evictions++
+	}
+}
+
+// Acquire returns the dataset and pins it against eviction; the returned
+// release function must be called exactly once when the caller (a job) is
+// finished with it.
+func (r *Registry) Acquire(id string) (*dataset.Dataset, DatasetInfo, func(), bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, DatasetInfo{}, nil, false
+	}
+	r.order.MoveToFront(e.elem)
+	e.pins++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			r.mu.Lock()
+			e.pins--
+			r.mu.Unlock()
+		})
+	}
+	return e.ds, e.info, release, true
+}
+
+// Get returns the dataset without pinning (read-only peek; touches LRU).
+func (r *Registry) Get(id string) (*dataset.Dataset, DatasetInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, DatasetInfo{}, false
+	}
+	r.order.MoveToFront(e.elem)
+	return e.ds, e.info, true
+}
+
+// List returns the registered datasets, most recently used first.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.entries))
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, r.entries[el.Value.(string)].info)
+	}
+	return out
+}
+
+// Stats reports the registry occupancy.
+func (r *Registry) Stats() (entries, totalRows int, evictions int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries), r.totalRows, r.evictions
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// csvRows builds a tiny two-group CSV with n data rows.
+func csvRows(n int, salt string) []byte {
+	var b strings.Builder
+	b.WriteString("x,tool,g\n")
+	for i := 0; i < n; i++ {
+		g := "pass"
+		tool := "a" + salt
+		if i%2 == 1 {
+			g = "fail"
+			tool = "b" + salt
+		}
+		fmt.Fprintf(&b, "%d.%d,%s,%s\n", i, i%7, tool, g)
+	}
+	return []byte(b.String())
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry(0)
+	csv := csvRows(10, "")
+	a, err := r.Register("first", csv, "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Register("second-name-ignored", csv, "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("same bytes, different IDs: %s vs %s", a.ID, b.ID)
+	}
+	if b.Name != "first" {
+		t.Fatalf("re-registration replaced the entry: name = %q", b.Name)
+	}
+	if entries, rows, _ := r.Stats(); entries != 1 || rows != 10 {
+		t.Fatalf("Stats() = %d entries, %d rows; want 1, 10", entries, rows)
+	}
+
+	// Different parse options on the same bytes are a different dataset.
+	c, err := r.Register("forced", csv, "g", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID {
+		t.Fatal("different parse options produced the same content address")
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	r := NewRegistry(25) // room for two 10-row datasets, not three
+	a, _ := r.Register("a", csvRows(10, "a"), "g", nil)
+	b, _ := r.Register("b", csvRows(10, "b"), "g", nil)
+
+	// Touch a so b is the LRU victim.
+	if _, _, ok := r.Get(a.ID); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c, _ := r.Register("c", csvRows(10, "c"), "g", nil)
+
+	if _, _, ok := r.Get(b.ID); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if _, _, ok := r.Get(id); !ok {
+			t.Fatalf("%s evicted; want it kept", id)
+		}
+	}
+	if _, _, ev := r.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestRegistryPinBlocksEviction(t *testing.T) {
+	r := NewRegistry(25)
+	a, _ := r.Register("a", csvRows(10, "a"), "g", nil)
+	b, _ := r.Register("b", csvRows(10, "b"), "g", nil)
+
+	// Pin b (the would-be victim), then overflow: a must go instead.
+	_, _, release, ok := r.Acquire(b.ID)
+	if !ok {
+		t.Fatal("Acquire(b) failed")
+	}
+	if _, _, ok := r.Get(a.ID); !ok { // make b the LRU tail again
+		t.Fatal("a missing")
+	}
+	// Re-order so b is least recently used: touch a after acquiring b.
+	r.Register("c", csvRows(10, "c"), "g", nil)
+
+	if _, _, ok := r.Get(b.ID); !ok {
+		t.Fatal("pinned dataset was evicted")
+	}
+	release()
+	release() // double release must be a no-op (sync.Once)
+
+	// Unpinned now: the next overflow may evict it.
+	r.Register("d", csvRows(10, "d"), "g", nil)
+	if entries, rows, _ := r.Stats(); rows > 25 || entries > 2 {
+		t.Fatalf("budget not enforced after release: %d entries, %d rows", entries, rows)
+	}
+}
+
+func TestRegistryOversizedSingleDataset(t *testing.T) {
+	r := NewRegistry(5)
+	big, err := r.Register("big", csvRows(50, ""), "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := r.Get(big.ID); !ok {
+		t.Fatal("a dataset larger than the budget must still register")
+	}
+	// The next registration evicts it.
+	r.Register("small", csvRows(4, "s"), "g", nil)
+	if _, _, ok := r.Get(big.ID); ok {
+		t.Fatal("oversized dataset should be evicted once something else arrives")
+	}
+}
+
+func TestRegistryRejectsBadCSV(t *testing.T) {
+	r := NewRegistry(0)
+	if _, err := r.Register("bad", []byte("x,y\n1,2\n"), "nope", nil); err == nil {
+		t.Fatal("Register with a missing group column must fail")
+	}
+	if entries, _, _ := r.Stats(); entries != 0 {
+		t.Fatalf("failed registration left %d entries", entries)
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sdadcs/internal/metrics"
+)
+
+// Options sizes the service. The zero value is usable.
+type Options struct {
+	// Workers is the mining worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue; a full queue turns new
+	// submissions into 429s (default 64).
+	QueueDepth int
+	// RowBudget bounds the dataset registry by total registered rows;
+	// least-recently-used unpinned datasets are evicted past it
+	// (default 0 = unbounded).
+	RowBudget int
+	// CacheEntries bounds the result cache (default 128).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that carry no deadline of their own
+	// (default 5m; set negative for none).
+	DefaultTimeout time.Duration
+	// MaxUploadBytes bounds a dataset registration body (default 64 MiB).
+	MaxUploadBytes int64
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 128
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 5 * time.Minute
+	}
+	if o.DefaultTimeout < 0 {
+		o.DefaultTimeout = 0
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 64 << 20
+	}
+}
+
+// counters is the serve-level operational state behind /v1/metrics.
+type counters struct {
+	jobsSubmitted  atomic.Int64
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsCanceled   atomic.Int64
+	jobsRunning    atomic.Int64
+	mineExecutions atomic.Int64
+	cacheHits      atomic.Int64
+	dedupHits      atomic.Int64
+}
+
+// ServerMetrics is the /v1/metrics payload: serve-level counters plus one
+// internal/metrics snapshot per running job (the same JSON shape
+// cmd/monitor -metrics serves).
+type ServerMetrics struct {
+	UptimeNanos        int64 `json:"uptime_ns"`
+	DatasetsRegistered int   `json:"datasets_registered"`
+	DatasetRows        int   `json:"dataset_rows"`
+	DatasetEvictions   int64 `json:"dataset_evictions"`
+	JobsSubmitted      int64 `json:"jobs_submitted"`
+	JobsDone           int64 `json:"jobs_done"`
+	JobsFailed         int64 `json:"jobs_failed"`
+	JobsCanceled       int64 `json:"jobs_canceled"`
+	JobsRunning        int64 `json:"jobs_running"`
+	QueueDepth         int   `json:"queue_depth"`
+	QueueCapacity      int   `json:"queue_capacity"`
+	MineExecutions     int64 `json:"mine_executions"`
+	CacheHits          int64 `json:"cache_hits"`
+	DedupHits          int64 `json:"dedup_hits"`
+	ResultCacheEntries int   `json:"result_cache_entries"`
+	// Active maps running job IDs to their live mining snapshots.
+	Active map[string]metrics.Snapshot `json:"active,omitempty"`
+}
+
+// Server ties the registry, job manager and result cache together behind
+// the HTTP API. Build with New, mount Handler, stop with Close.
+type Server struct {
+	opts     Options
+	reg      *Registry
+	cache    *resultCache
+	mgr      *Manager
+	counters *counters
+	start    time.Time
+}
+
+// New builds a serving stack.
+func New(opts Options) *Server {
+	opts.defaults()
+	c := &counters{}
+	reg := NewRegistry(opts.RowBudget)
+	cache := newResultCache(opts.CacheEntries)
+	return &Server{
+		opts:     opts,
+		reg:      reg,
+		cache:    cache,
+		mgr:      newManager(reg, cache, opts.Workers, opts.QueueDepth, opts.DefaultTimeout, c),
+		counters: c,
+		start:    time.Now(),
+	}
+}
+
+// Registry exposes the dataset registry (tests and preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Manager exposes the job manager (tests and embedding).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Close drains the server: submissions stop, running jobs get the grace
+// period, then their contexts are canceled; Close returns after every
+// worker goroutine exited.
+func (s *Server) Close(grace time.Duration) { s.mgr.Close(grace) }
+
+// Metrics snapshots the serve-level counters and the live mining
+// snapshots of running jobs.
+func (s *Server) Metrics() ServerMetrics {
+	entries, rows, evictions := s.reg.Stats()
+	m := ServerMetrics{
+		UptimeNanos:        int64(time.Since(s.start)),
+		DatasetsRegistered: entries,
+		DatasetRows:        rows,
+		DatasetEvictions:   evictions,
+		JobsSubmitted:      s.counters.jobsSubmitted.Load(),
+		JobsDone:           s.counters.jobsDone.Load(),
+		JobsFailed:         s.counters.jobsFailed.Load(),
+		JobsCanceled:       s.counters.jobsCanceled.Load(),
+		JobsRunning:        s.counters.jobsRunning.Load(),
+		QueueDepth:         s.mgr.QueueDepth(),
+		QueueCapacity:      s.opts.QueueDepth,
+		MineExecutions:     s.counters.mineExecutions.Load(),
+		CacheHits:          s.counters.cacheHits.Load(),
+		DedupHits:          s.counters.dedupHits.Load(),
+		ResultCacheEntries: s.cache.len(),
+	}
+	for _, j := range s.mgr.Jobs() {
+		if snap, ok := j.liveMetrics(); ok {
+			if m.Active == nil {
+				m.Active = make(map[string]metrics.Snapshot)
+			}
+			m.Active[j.ID] = snap
+		}
+	}
+	return m
+}
