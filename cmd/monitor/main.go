@@ -156,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer traceOut.Close()
 	}
 
-	m := sdadcs.NewStreamMonitor(schema, sdadcs.StreamConfig{
+	m, err := sdadcs.NewStreamMonitor(schema, sdadcs.StreamConfig{
 		WindowSize:    *window,
 		MineEvery:     *every,
 		MinEventScore: *minScore,
@@ -167,6 +167,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Trace:    tracer,
 		},
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "monitor:", err)
+		return 1
+	}
 
 	rows := 0
 	events := 0

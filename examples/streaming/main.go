@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	monitor := sdadcs.NewStreamMonitor(
+	monitor, err := sdadcs.NewStreamMonitor(
 		sdadcs.StreamSchema{
 			Name:        "reflow-line",
 			Continuous:  []string{"peak_temp"},
@@ -34,6 +34,9 @@ func main() {
 			},
 		},
 	)
+	if err != nil {
+		panic(err)
+	}
 
 	rng := rand.New(rand.NewSource(7))
 	emit := func(batch int, hot bool) {

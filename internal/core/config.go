@@ -16,9 +16,12 @@ const (
 	// children (the paper's assumption). Tightest pruning; can in
 	// principle over-prune on heavily tied data.
 	OEModePaper OEMode = iota
-	// OEModeConservative bounds a child space by half its parent's rows —
-	// admissible regardless of ties, because every child box lies
-	// entirely inside one half of the first attribute's median split.
+	// OEModeConservative bounds a child space only by the fact that it is
+	// a proper sub-box of its parent (n − 1 rows) — admissible regardless
+	// of ties. A half-open median split on tied data can be arbitrarily
+	// lopsided ({1,1,1,2} puts 3 of 4 rows in the low child), so no
+	// fixed-fraction bound is sound; the correctness oracle mines in this
+	// mode to guarantee the production search is exhaustive.
 	OEModeConservative
 )
 
@@ -110,6 +113,13 @@ func NPPruning() Pruning {
 	}
 }
 
+// TopKUnbounded disables the top-k result bound: every admissible
+// contrast is retained. The correctness oracle mines with this sentinel so
+// the production search enumerates exactly what the reference
+// implementation does (a bounded list prunes recursion through its dynamic
+// threshold).
+const TopKUnbounded = -1
+
 // Config controls a mining run. The zero value is usable: it maps to the
 // paper's experimental setup (α = 0.05, δ = 0.1, depth 5, top-100,
 // support-difference measure, all pruning, meaningfulness filter on).
@@ -124,7 +134,10 @@ type Config struct {
 	MaxDepth int
 	// MaxRecursion bounds SDAD-CS's median-split recursion (default 8).
 	MaxRecursion int
-	// TopK bounds the result list (default 100). 0 = unbounded.
+	// TopK bounds the result list (default 100). TopKUnbounded (-1)
+	// disables the bound entirely — every admissible contrast is kept and
+	// the dynamic threshold never rises above the score floor. (0 selects
+	// the default, like every other zero field.)
 	TopK int
 	// Measure drives the search (default SupportDiff; the paper uses
 	// SurprisingMeasure for its qualitative analyses).
@@ -195,6 +208,9 @@ func (c *Config) defaults() {
 	}
 	if c.TopK == 0 {
 		c.TopK = 100
+	}
+	if c.TopK == TopKUnbounded {
+		c.TopK = 0 // topk.List treats k <= 0 as unbounded
 	}
 	if c.Workers == 0 {
 		c.Workers = 1

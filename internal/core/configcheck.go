@@ -56,8 +56,8 @@ func (c *Config) Validate() error {
 	if c.MaxRecursion < 0 {
 		bad("MaxRecursion", c.MaxRecursion, "SDAD-CS recursion bound must be >= 1; 0 selects the default 8")
 	}
-	if c.TopK < 0 {
-		bad("TopK", c.TopK, "result bound must be >= 1; 0 selects the default 100")
+	if c.TopK < 0 && c.TopK != TopKUnbounded {
+		bad("TopK", c.TopK, "result bound must be >= 1; 0 selects the default 100, TopKUnbounded (-1) disables the bound")
 	}
 	if c.Workers < 0 {
 		bad("Workers", c.Workers, "worker count must be >= 1; 0 selects the default 1")

@@ -28,7 +28,8 @@ func TestConfigValidate(t *testing.T) {
 		{"alpha above one", Config{Alpha: 1.5}, "Alpha"},
 		{"negative depth", Config{MaxDepth: -1}, "MaxDepth"},
 		{"negative recursion", Config{MaxRecursion: -2}, "MaxRecursion"},
-		{"negative topk", Config{TopK: -1}, "TopK"},
+		{"unbounded topk sentinel", Config{TopK: TopKUnbounded}, ""},
+		{"negative topk", Config{TopK: -2}, "TopK"},
 		{"negative workers", Config{Workers: -8}, "Workers"},
 		{"bad measure", Config{Measure: pattern.Measure(99)}, "Measure"},
 		{"bad oe mode", Config{OEMode: OEMode(7)}, "OEMode"},

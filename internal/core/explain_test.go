@@ -32,7 +32,7 @@ verdict: emitted
 decisions:
   - level 3: evaluated (740 rows, group counts [71 669])
   - level 3: emitted as contrast (score 0.9735407242919762, chi2 5352.081400477574, p 0)
-  - top-k admitted (threshold 0 -> 0)
+  - top-k admitted (threshold -Inf -> -Inf)
   - meaningfulness filter: kept (score 0.9735407242919762)
 `
 	if got != want {
@@ -105,7 +105,7 @@ verdict: filtered (dependent)
 decisions:
   - level 2: evaluated (1464 rows, group counts [795 669])
   - level 2: emitted as contrast (score 0.723983597072453, chi2 2332.92434292462, p 0)
-  - top-k admitted (threshold 0 -> 0)
+  - top-k admitted (threshold -Inf -> -Inf)
   - meaningfulness filter: dependent (score 0.723983597072453) explained by temp = yes and depth = yes and shear = yes
 `
 	if got != want {

@@ -201,7 +201,9 @@ func isIndependentlyProductive(d *dataset.Dataset, c pattern.Contrast,
 		if err != nil {
 			return t.Set.Key(), false // no discriminating structure left
 		}
-		if test.P >= alpha {
+		// NaN-safe: only a definite P < α keeps the contrast independently
+		// productive; NaN (tiny remainder samples) must fail the test.
+		if !(test.P < alpha) {
 			return t.Set.Key(), false
 		}
 	}

@@ -68,10 +68,19 @@ func optimisticEstimate(sup pattern.Supports, spaceRows, numCont int, mode OEMod
 // hold after the next median split.
 func maxInstancesChild(spaceRows, numCont int, mode OEMode) int {
 	if mode == OEModeConservative || numCont < 1 {
-		// Every child box lies inside one half of the first attribute's
-		// median split, which holds at most ceil(n/2) rows even with
-		// ties at the median.
-		return (spaceRows + 1) / 2
+		// A half-open (lo, med] / (med, hi] split can be arbitrarily
+		// lopsided on tied data: with values {1,1,1,2} the low child holds
+		// 3 of 4 rows, beating ceil(n/2) = 2. The only unconditional
+		// guarantee is that a child is a *proper* sub-box of the space —
+		// Algorithm 1 splits only when lo < med < hi, so each child
+		// excludes at least one row. Hence the admissible bound is n − 1
+		// (and n itself when the space cannot shrink further). Found by
+		// the differential oracle: the previous ceil(n/2) bound let
+		// ChiSquareOE prune children the reference miner kept.
+		if spaceRows <= 1 {
+			return spaceRows
+		}
+		return spaceRows - 1
 	}
 	// Paper mode: unique real values distribute evenly over the 2^|ca|
 	// children.

@@ -55,8 +55,31 @@ func TestMaxInstancesChild(t *testing.T) {
 	if got := maxInstancesChild(101, 1, OEModePaper); got != 51 {
 		t.Errorf("paper rounding: %d, want 51", got)
 	}
-	if got := maxInstancesChild(100, 3, OEModeConservative); got != 50 {
-		t.Errorf("conservative: %d, want 50", got)
+	if got := maxInstancesChild(100, 3, OEModeConservative); got != 99 {
+		t.Errorf("conservative: %d, want 99", got)
+	}
+	if got := maxInstancesChild(1, 1, OEModeConservative); got != 1 {
+		t.Errorf("conservative single row: %d, want 1", got)
+	}
+	if got := maxInstancesChild(0, 1, OEModeConservative); got != 0 {
+		t.Errorf("conservative empty: %d, want 0", got)
+	}
+}
+
+// Regression (differential oracle): the conservative bound used to be
+// ceil(n/2), which is NOT admissible under ties. With values {1,1,1,2} the
+// half-open split at the lower-middle median 1 puts rows {1,1,1} — 3 of
+// 4 — into the low child, exceeding ceil(4/2) = 2. The conservative mode
+// must therefore bound a child by n−1 (a proper sub-box excludes at least
+// one row) and never less than a real child's size.
+func TestMaxInstancesChildConservativeTies(t *testing.T) {
+	// The low child of {1,1,1,2} holds 3 rows.
+	if got := maxInstancesChild(4, 1, OEModeConservative); got < 3 {
+		t.Fatalf("conservative bound %d under-counts the 3-row tied child", got)
+	}
+	// And with {1,1,1,1,2}, 4 of 5 rows land low.
+	if got := maxInstancesChild(5, 1, OEModeConservative); got < 4 {
+		t.Fatalf("conservative bound %d under-counts the 4-row tied child", got)
 	}
 }
 
@@ -75,9 +98,12 @@ func TestOptimisticEstimateAdmissibleProperty(t *testing.T) {
 		spaceRows := c0 + c1
 		oe := optimisticEstimate(sup, spaceRows, 1, OEModeConservative, pattern.SupportDiff)
 
-		// Simulate a median split: each row goes to one half; halves are
-		// balanced to within one row as a true median split guarantees.
-		half := (spaceRows + 1) / 2
+		// Simulate a half-open median split on possibly-tied data: the
+		// split point can be arbitrarily lopsided (values {1,1,1,2} put
+		// 3 of 4 rows in the low child), but each child is a proper
+		// subset — Algorithm 1 only splits when lo < med < hi, so each
+		// half excludes at least one row.
+		half := 1 + rng.Intn(spaceRows-1)
 		var h0c0, h0c1 int
 		remaining0, remaining1 := c0, c1
 		slots := half

@@ -261,7 +261,10 @@ func (r *sdadRun) exploreSpace(box pattern.Itemset,
 		return
 	}
 	test, err := stats.ChiSquare2xK(sup.Count, r.sizes)
-	if err != nil || test.P >= r.alpha {
+	// NaN-safe gate: only a definite P < α admits; an error or a NaN
+	// P-value (degenerate table, tiny sample) must read as "not
+	// significant", never as pass.
+	if err != nil || !(test.P < r.alpha) {
 		if r.tr.Enabled() {
 			r.tr.Prune(level, r.worker, childBox.Key(), "not_significant",
 				test.P, r.alpha)
@@ -418,7 +421,8 @@ func (r *sdadRun) tryMerge(a, b pattern.Contrast) (pattern.Contrast, bool) {
 		return pattern.Contrast{}, false
 	}
 	test, err := stats.ChiSquare2xK(sup.Count, r.sizes)
-	if err != nil || test.P >= r.alpha {
+	// NaN-safe: a NaN P-value must not let a merge through.
+	if err != nil || !(test.P < r.alpha) {
 		if r.tr.Enabled() {
 			r.tr.Merge(r.worker, merged.Key(), "reject_significance", simP, sup.MaxDiff())
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -272,5 +273,33 @@ func TestScalingShape(t *testing.T) {
 	}
 	if res.Points[2].Rows <= res.Points[0].Rows {
 		t.Error("row counts not increasing")
+	}
+}
+
+// TestStarNotSigNaNSafe pins Table 4's comparison-cell rendering: the star
+// means "not significantly different from the baseline", and an undecidable
+// comparison (NaN p-value, e.g. one algorithm found nothing so there is no
+// sample to rank) must be starred, never silently presented as a
+// significant difference.
+func TestStarNotSigNaNSafe(t *testing.T) {
+	cases := []struct {
+		name string
+		p    float64
+		star bool
+	}{
+		{"significant difference", 0.01, false},
+		{"boundary p = 0.05", 0.05, true},
+		{"not significant", 0.5, true},
+		{"undecidable NaN", math.NaN(), true},
+	}
+	for _, tc := range cases {
+		got := starNotSig(1.25, tc.p)
+		if starred := strings.HasSuffix(got, "*"); starred != tc.star {
+			t.Errorf("%s: starNotSig(1.25, %v) = %q, starred=%v want %v",
+				tc.name, tc.p, got, starred, tc.star)
+		}
+		if !strings.HasPrefix(got, "1.25") {
+			t.Errorf("%s: value not rendered: %q", tc.name, got)
+		}
 	}
 }

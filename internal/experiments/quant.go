@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"sdadcs/internal/core"
@@ -68,24 +69,29 @@ func Table4(opts Options) Table4Result {
 	for _, d := range quantDatasets(opts) {
 		row := table4Row(d, opts)
 		out.Rows = append(out.Rows, row)
-		star := func(v, p float64) string {
-			s := fmt2(v)
-			if p >= 0.05 {
-				s += "*"
-			}
-			return s
-		}
 		t.Rows = append(t.Rows, []string{
 			row.Dataset,
 			fmt2(row.SDADNP),
-			star(row.MVD, row.PMVD),
-			star(row.Entropy, row.PEntropy),
-			star(row.Cortana, row.PCortana),
+			starNotSig(row.MVD, row.PMVD),
+			starNotSig(row.Entropy, row.PEntropy),
+			starNotSig(row.Cortana, row.PCortana),
 			fmt.Sprintf("%d", row.K),
 		})
 	}
 	out.Table = t
 	return out
+}
+
+// starNotSig renders a comparison cell: the value, starred when it is NOT
+// significantly different from the baseline. NaN-safe: a star means "not
+// significantly different", which covers p >= 0.05 AND undecidable (NaN)
+// comparisons — only a definite p < 0.05 suppresses the star.
+func starNotSig(v, p float64) string {
+	s := fmt2(v)
+	if !(p < 0.05) {
+		s += "*"
+	}
+	return s
 }
 
 func table4Row(d *dataset.Dataset, opts Options) Table4Row {
@@ -115,7 +121,10 @@ func table4Row(d *dataset.Dataset, opts Options) Table4Row {
 		a := pattern.TopScores(csNP, k)
 		b := pattern.TopScores(cs, k)
 		if len(a) == 0 || len(b) == 0 {
-			return 0
+			// No comparison is possible; returning 0 here used to claim a
+			// significant difference from an empty sample. NaN propagates
+			// as "undecidable" and renders as starred (not significant).
+			return math.NaN()
 		}
 		return stats.MannWhitney(a, b).P
 	}

@@ -140,3 +140,30 @@ func TestChiSquareSurvivalInvalidDF(t *testing.T) {
 		t.Error("df=0 should yield NaN")
 	}
 }
+
+// TestSignificantBoundary pins the NaN/boundary semantics of the
+// significance predicate: only a definite P < alpha reads as significant.
+// P == alpha and P = NaN (undecidable) must both read as NOT significant —
+// every caller-side gate in core mirrors this `!(p < alpha)` shape, so a
+// regression here would let degenerate tables admit patterns.
+func TestSignificantBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		p    float64
+		want bool
+	}{
+		{"well below", 0.01, true},
+		{"just below", math.Nextafter(0.05, 0), true},
+		{"exactly alpha", 0.05, false},
+		{"above", 0.06, false},
+		{"NaN is not significant", math.NaN(), false},
+		{"+Inf is not significant", math.Inf(1), false},
+	}
+	for _, tc := range cases {
+		r := ChiSquareResult{P: tc.p}
+		if got := r.Significant(0.05); got != tc.want {
+			t.Errorf("%s: Significant(0.05) with P=%v = %v, want %v",
+				tc.name, tc.p, got, tc.want)
+		}
+	}
+}

@@ -64,9 +64,63 @@ func (c *Config) defaults() {
 	if c.MineEvery == 0 {
 		c.MineEvery = c.WindowSize / 4
 	}
+	// WindowSize 1–3 makes the WindowSize/4 default collapse to zero,
+	// which would re-mine on EVERY append through the `sinceMine <
+	// MineEvery` guard never holding — the regression the tiny-window
+	// tests pin. A tiny window legitimately re-mines every row, but by
+	// this explicit clamp, not by integer-division accident.
+	if c.MineEvery < 1 {
+		c.MineEvery = 1
+	}
 	if c.DriftDelta == 0 {
 		c.DriftDelta = 0.1
 	}
+}
+
+// FieldError reports one invalid Config field, mirroring core.FieldError:
+// Validate wraps every violation so callers can errors.As for the field
+// name.
+type FieldError struct {
+	// Field is the Config field name (e.g. "WindowSize").
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason states what a valid value looks like.
+	Reason string
+}
+
+// Error renders "stream config: Field = value: reason".
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("stream config: %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the monitor configuration with the same philosophy as
+// core.Config.Validate: zero values are never errors (they map to
+// documented defaults); only actively malformed settings are rejected.
+// All violations are collected and returned joined; each is a
+// *FieldError, and an invalid embedded Mining config contributes the core
+// package's own *core.FieldError values to the join.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(field string, value any, reason string) {
+		errs = append(errs, &FieldError{Field: field, Value: value, Reason: reason})
+	}
+	if c.WindowSize < 0 {
+		bad("WindowSize", c.WindowSize, "window size must be positive (0 selects the default)")
+	}
+	if c.MineEvery < 0 {
+		bad("MineEvery", c.MineEvery, "re-mine cadence must be positive (0 selects the default)")
+	}
+	if c.DriftDelta < 0 || math.IsNaN(c.DriftDelta) {
+		bad("DriftDelta", c.DriftDelta, "drift threshold must be a non-negative number")
+	}
+	if c.MinEventScore < 0 || math.IsNaN(c.MinEventScore) {
+		bad("MinEventScore", c.MinEventScore, "event floor must be a non-negative number")
+	}
+	if err := c.Mining.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // EventKind classifies a pattern change.
@@ -127,8 +181,13 @@ type Monitor struct {
 	skipped   int
 }
 
-// NewMonitor builds a monitor for the schema.
-func NewMonitor(schema Schema, cfg Config) *Monitor {
+// NewMonitor builds a monitor for the schema. A malformed configuration
+// (see Config.Validate) is rejected up front with the joined *FieldError
+// values rather than surfacing as misbehaviour mid-stream.
+func NewMonitor(schema Schema, cfg Config) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	m := &Monitor{
 		schema: schema,
@@ -143,7 +202,7 @@ func NewMonitor(schema Schema, cfg Config) *Monitor {
 	for i := range m.cat {
 		m.cat[i] = make([]string, cfg.WindowSize)
 	}
-	return m
+	return m, nil
 }
 
 // Len returns the number of rows currently in the window.

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"errors"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sdadcs/internal/core"
@@ -47,17 +49,32 @@ func feed(t *testing.T, m *Monitor, rng *rand.Rand, n int, hot bool) []Event {
 	return all
 }
 
-func newTestMonitor() *Monitor {
-	return NewMonitor(lineSchema(), Config{
+func newTestMonitor(tb testing.TB) *Monitor {
+	tb.Helper()
+	m, err := NewMonitor(lineSchema(), Config{
 		WindowSize: 800,
 		MineEvery:  400,
 		Mining:     core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2},
 	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// mustMonitor builds a monitor or fails the test.
+func mustMonitor(tb testing.TB, schema Schema, cfg Config) *Monitor {
+	tb.Helper()
+	m, err := NewMonitor(schema, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }
 
 func TestMonitorDetectsRegimeChange(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	m := newTestMonitor()
+	m := newTestMonitor(t)
 
 	// Warm up on the normal regime; drain its initial events.
 	feed(t, m, rng, 1200, false)
@@ -88,7 +105,7 @@ func TestMonitorDetectsRegimeChange(t *testing.T) {
 
 func TestMonitorQuietOnStableStream(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	m := NewMonitor(lineSchema(), Config{
+	m := mustMonitor(t, lineSchema(), Config{
 		WindowSize:    800,
 		MineEvery:     400,
 		MinEventScore: 0.2, // alerting floor: ignore weak flicker
@@ -112,7 +129,7 @@ func TestMonitorQuietOnStableStream(t *testing.T) {
 
 func TestMonitorWindowEviction(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	m := newTestMonitor()
+	m := newTestMonitor(t)
 	feed(t, m, rng, 3000, false)
 	if m.Len() != 800 {
 		t.Errorf("window holds %d rows, want 800", m.Len())
@@ -136,7 +153,7 @@ func TestMonitorWindowEviction(t *testing.T) {
 }
 
 func TestMonitorSchemaMismatch(t *testing.T) {
-	m := newTestMonitor()
+	m := newTestMonitor(t)
 	if _, err := m.Append([]float64{1, 2}, []string{"M1"}, "pass"); err == nil {
 		t.Error("wrong continuous arity should error")
 	}
@@ -146,7 +163,7 @@ func TestMonitorSchemaMismatch(t *testing.T) {
 }
 
 func TestMonitorSingleGroupWindow(t *testing.T) {
-	m := NewMonitor(lineSchema(), Config{WindowSize: 100, MineEvery: 50})
+	m := mustMonitor(t, lineSchema(), Config{WindowSize: 100, MineEvery: 50})
 	// All rows in one group: every due re-mine must surface the typed
 	// sentinel (not silently report "no changes"), produce no events, and
 	// leave the monitor usable.
@@ -256,7 +273,7 @@ func TestDiffSiblingPatterns(t *testing.T) {
 		}
 	}
 
-	m := NewMonitor(Schema{Name: "line", Continuous: []string{"temp"}},
+	m := mustMonitor(t, Schema{Name: "line", Continuous: []string{"temp"}},
 		Config{WindowSize: 100, MineEvery: 50})
 	m.curData = mkData("prev")
 	m.current = []pattern.Contrast{
@@ -311,7 +328,7 @@ func TestEventKindString(t *testing.T) {
 func TestRemineLatencyRecorded(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	rec := metrics.New()
-	m := NewMonitor(lineSchema(), Config{
+	m := mustMonitor(t, lineSchema(), Config{
 		WindowSize: 400,
 		MineEvery:  200,
 		Mining: core.Config{
@@ -332,5 +349,139 @@ func TestRemineLatencyRecorded(t *testing.T) {
 	// The combination-search counters flow through from core as well.
 	if len(s.Levels) == 0 {
 		t.Error("no per-level data from windowed mining")
+	}
+}
+
+// TestTinyWindowMineEveryClamped pins the WindowSize 1–3 regression: the
+// MineEvery default is WindowSize/4, which integer-divides to zero for tiny
+// windows and made the `sinceMine < MineEvery` due-check vacuously true —
+// re-mining on every append by arithmetic accident rather than by policy.
+// The clamp makes the cadence an explicit 1.
+func TestTinyWindowMineEveryClamped(t *testing.T) {
+	for _, w := range []int{1, 2, 3} {
+		m := mustMonitor(t, lineSchema(), Config{
+			WindowSize: w,
+			Mining:     core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 1},
+		})
+		if m.cfg.MineEvery != 1 {
+			t.Errorf("WindowSize=%d: MineEvery defaulted to %d, want clamp to 1",
+				w, m.cfg.MineEvery)
+		}
+	}
+	// WindowSize 4 is the first size where the /4 default is not clamped.
+	m := mustMonitor(t, lineSchema(), Config{
+		WindowSize: 4,
+		Mining:     core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 1},
+	})
+	if m.cfg.MineEvery != 1 {
+		t.Errorf("WindowSize=4: MineEvery = %d, want 1 (4/4)", m.cfg.MineEvery)
+	}
+}
+
+// TestTinyWindowMinesEveryAppend: with the clamped cadence a WindowSize-2
+// monitor attempts a re-mine on every append — each attempt either mines or
+// is counted as skipped (single-group window), never silently dropped.
+func TestTinyWindowMinesEveryAppend(t *testing.T) {
+	m := mustMonitor(t, lineSchema(), Config{
+		WindowSize: 2,
+		Mining:     core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 1},
+	})
+	const appends = 8
+	for i := 0; i < appends; i++ {
+		group := []string{"pass", "fail"}[i%2]
+		_, err := m.Append([]float64{float64(200 + 10*(i%2))}, []string{"m1"}, group)
+		if err != nil && !errors.Is(err, ErrWindowNotMineable) {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := m.Mines() + m.SkippedMines(); got != appends {
+		t.Errorf("mines(%d)+skipped(%d) = %d, want one attempt per append (%d)",
+			m.Mines(), m.SkippedMines(), got, appends)
+	}
+	if m.Mines() == 0 {
+		t.Error("two-group tiny window never mined successfully")
+	}
+}
+
+// TestConfigValidate mirrors core's configcheck tests: every actively
+// malformed field is rejected with a *FieldError naming it, zero values are
+// never errors, and an invalid embedded Mining config surfaces the core
+// package's own typed errors through the join.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string // "" = config is valid
+	}{
+		{"zero value", Config{}, ""},
+		{"explicit sane", Config{WindowSize: 100, MineEvery: 25, DriftDelta: 0.2, MinEventScore: 0.1}, ""},
+		{"negative window", Config{WindowSize: -1}, "WindowSize"},
+		{"negative cadence", Config{MineEvery: -5}, "MineEvery"},
+		{"negative drift", Config{DriftDelta: -0.1}, "DriftDelta"},
+		{"NaN drift", Config{DriftDelta: math.NaN()}, "DriftDelta"},
+		{"negative event floor", Config{MinEventScore: -1}, "MinEventScore"},
+		{"NaN event floor", Config{MinEventScore: math.NaN()}, "MinEventScore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid %s accepted", tc.field)
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error is not a *FieldError: %v", err)
+			}
+			if fe.Field != tc.field {
+				t.Errorf("FieldError.Field = %q, want %q", fe.Field, tc.field)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Errorf("message %q does not name the field %q", err, tc.field)
+			}
+		})
+	}
+}
+
+// TestConfigValidateJoinsMiningErrors: a malformed embedded core.Config is
+// reported through the same joined error, as the core package's typed
+// *core.FieldError — callers can errors.As for either layer.
+func TestConfigValidateJoinsMiningErrors(t *testing.T) {
+	cfg := Config{
+		WindowSize: -2, // stream-layer violation
+		Mining:     core.Config{Alpha: 1.5, MaxDepth: -1},
+	}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	var se *FieldError
+	if !errors.As(err, &se) || se.Field != "WindowSize" {
+		t.Errorf("stream-layer *FieldError not surfaced: %v", err)
+	}
+	var ce *core.FieldError
+	if !errors.As(err, &ce) {
+		t.Fatalf("embedded mining violation not surfaced as *core.FieldError: %v", err)
+	}
+	if ce.Field != "Alpha" && ce.Field != "MaxDepth" {
+		t.Errorf("core FieldError names %q, want Alpha or MaxDepth", ce.Field)
+	}
+}
+
+// TestNewMonitorRejectsInvalidConfig: construction is fail-fast — the
+// validation errors come back from NewMonitor before any buffer allocation.
+func TestNewMonitorRejectsInvalidConfig(t *testing.T) {
+	_, err := NewMonitor(lineSchema(), Config{WindowSize: -1, DriftDelta: math.NaN()})
+	if err == nil {
+		t.Fatal("NewMonitor accepted an invalid config")
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("NewMonitor error is not addressable as *FieldError: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ package topk
 
 import (
 	"container/heap"
+	"math"
 
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/pattern"
@@ -56,11 +57,22 @@ func (l *List) Len() int { return len(l.h.items) }
 // K returns the capacity (0 = unbounded).
 func (l *List) K() int { return l.k }
 
-// Threshold returns the current admission threshold: δ while fewer than k
-// contrasts are stored, otherwise the score of the k-th best contrast.
+// Threshold returns the k-th best score once the list is full, and −Inf
+// before that (and always for an unbounded list). The threshold is what
+// the miner's optimistic-estimate pruning compares against, so its only
+// sound values are "the score a candidate must beat to enter the list"
+// (the root of the full heap) or "nothing to beat yet" (−Inf). It used to
+// return δ while filling, conflating the admission floor with the dynamic
+// threshold; the floor is a property of Add, not of the pruning bound —
+// and for an unbounded list there is never anything to beat, which is what
+// lets the correctness oracle disable recursion pruning entirely.
+//
+// Monotonicity: while only Add is called, the threshold never decreases —
+// an eviction replaces the root with a strictly better entry. Remove (the
+// merge phase) legitimately lowers it by reopening a slot.
 func (l *List) Threshold() float64 {
 	if l.k <= 0 || len(l.h.items) < l.k {
-		return l.delta
+		return math.Inf(-1)
 	}
 	return l.h.items[0].Score
 }
@@ -97,6 +109,12 @@ func (l *List) Add(c pattern.Contrast) bool {
 // add performs the list transition and names it in the KindTopK verdict
 // vocabulary; evicted is the key pushed out to make room (if any).
 func (l *List) add(c pattern.Contrast) (changed bool, evicted, verdict string) {
+	// A NaN score is unordered against every threshold comparison below;
+	// admitting one would corrupt the heap invariant and poison the
+	// dynamic threshold. NaN contrasts are never admissible.
+	if math.IsNaN(c.Score) {
+		return false, "", "rejected"
+	}
 	key := c.Set.Key()
 	if idx, ok := l.keys[key]; ok {
 		if c.Score <= l.h.items[idx].Score {
@@ -108,7 +126,14 @@ func (l *List) add(c pattern.Contrast) (changed bool, evicted, verdict string) {
 		return true, "", "replaced"
 	}
 	if l.k > 0 && len(l.h.items) >= l.k {
-		if c.Score <= l.h.items[0].Score {
+		// Admit iff the candidate beats the worst stored entry under the
+		// same total order the heap maintains: score descending, then key
+		// ascending. Breaking score ties on the key makes the final list
+		// content independent of arrival order (the Workers=1 vs N
+		// metamorphic invariant); a plain score comparison let whichever
+		// tied contrast arrived first keep the slot.
+		root := &l.h.items[0]
+		if c.Score < root.Score || (c.Score == root.Score && key >= root.key) {
 			return false, "", "rejected"
 		}
 		evicted = l.h.items[0].key

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -20,14 +21,19 @@ func mk(attr int, lo, hi, score float64) pattern.Contrast {
 }
 
 func TestThresholdBeforeFull(t *testing.T) {
+	// While the list is not yet full there is nothing a candidate must
+	// beat, so the threshold is -Inf — NOT delta (delta is the admission
+	// floor, a property of Add) and especially not 0, which would make the
+	// optimistic-estimate pruning cut negative- and zero-scored subtrees
+	// before k contrasts have even been found.
 	l := New(3, 0.1)
-	if l.Threshold() != 0.1 {
-		t.Errorf("empty threshold = %v, want delta", l.Threshold())
+	if !math.IsInf(l.Threshold(), -1) {
+		t.Errorf("empty threshold = %v, want -Inf", l.Threshold())
 	}
 	l.Add(mk(0, 0, 1, 0.5))
 	l.Add(mk(0, 1, 2, 0.3))
-	if l.Threshold() != 0.1 {
-		t.Errorf("partial threshold = %v, want delta", l.Threshold())
+	if !math.IsInf(l.Threshold(), -1) {
+		t.Errorf("partial threshold = %v, want -Inf", l.Threshold())
 	}
 	l.Add(mk(0, 2, 3, 0.7))
 	if l.Threshold() != 0.3 {
@@ -116,8 +122,8 @@ func TestUnboundedList(t *testing.T) {
 	if l.Len() != 100 {
 		t.Errorf("unbounded Len = %d", l.Len())
 	}
-	if l.Threshold() != 0.1 {
-		t.Errorf("unbounded threshold = %v, want delta", l.Threshold())
+	if !math.IsInf(l.Threshold(), -1) {
+		t.Errorf("unbounded threshold = %v, want -Inf (never anything to beat)", l.Threshold())
 	}
 }
 
@@ -217,5 +223,176 @@ func TestNilRecorderList(t *testing.T) {
 	l := New(2, 0.1).WithRecorder(nil)
 	if !l.Add(mk(0, 0, 1, 0.5)) {
 		t.Fatal("add failed with nil recorder")
+	}
+}
+
+// Regression (differential oracle, Workers=1 vs 8 invariant): when a
+// candidate ties the worst stored score at a full list, admission used to
+// depend on arrival order — whichever tied contrast was offered first kept
+// the slot, so parallel mining (which merges per-level results in node
+// order, not discovery order) could return a different set than serial
+// mining. The tie must break on the itemset key, the same total order
+// Contrasts() sorts by.
+func TestEvictionTieBreaksOnKey(t *testing.T) {
+	a := mk(0, 0, 1, 0.5) // key "0@..." — smaller
+	b := mk(1, 0, 1, 0.5) // key "1@..." — larger
+	if a.Set.Key() >= b.Set.Key() {
+		t.Fatalf("fixture keys not ordered: %q vs %q", a.Set.Key(), b.Set.Key())
+	}
+	for name, order := range map[string][2]pattern.Contrast{
+		"small-key-first": {a, b},
+		"large-key-first": {b, a},
+	} {
+		l := New(1, 0.0)
+		l.Add(order[0])
+		l.Add(order[1])
+		cs := l.Contrasts()
+		if len(cs) != 1 || cs[0].Set.Key() != a.Set.Key() {
+			t.Errorf("%s: kept %q, want the smaller key %q", name, cs[0].Set.Key(), a.Set.Key())
+		}
+	}
+}
+
+// Regression: NaN scores must never enter the list. A NaN at the heap
+// root makes every subsequent threshold comparison false, silently
+// freezing the dynamic threshold and corrupting the heap order.
+func TestNaNScoreRejected(t *testing.T) {
+	l := New(3, 0.0)
+	if l.Add(mk(0, 0, 1, math.NaN())) {
+		t.Fatal("NaN score admitted")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after NaN add", l.Len())
+	}
+	l.Add(mk(0, 0, 1, 0.4))
+	c := mk(0, 0, 1, math.NaN())
+	if l.Add(c) {
+		t.Fatal("NaN replacement admitted")
+	}
+	if got, _ := l.Get(c.Set.Key()); math.IsNaN(got.Score) {
+		t.Fatal("stored score replaced by NaN")
+	}
+}
+
+// Table-driven admit/evict/remove sequences: after every operation the
+// threshold must be -Inf while Len() < k and the worst stored score when
+// full, and it must never decrease across a run of Adds (evictions only
+// tighten it). Remove legitimately reopens a slot and drops it back to
+// -Inf.
+func TestThresholdSequences(t *testing.T) {
+	type op struct {
+		verb  string // "add" or "remove"
+		attr  int
+		score float64
+		want  float64 // expected threshold after the op; -Inf encoded below
+	}
+	ninf := math.Inf(-1)
+	cases := []struct {
+		name string
+		k    int
+		ops  []op
+	}{
+		{
+			name: "fill then evict",
+			k:    2,
+			ops: []op{
+				{"add", 0, 0.3, ninf},
+				{"add", 1, 0.5, 0.3},
+				{"add", 2, 0.4, 0.4}, // evicts 0.3
+				{"add", 3, 0.2, 0.4}, // rejected; threshold unchanged
+				{"add", 4, 0.9, 0.5}, // evicts 0.4
+			},
+		},
+		{
+			name: "remove reopens slot",
+			k:    2,
+			ops: []op{
+				{"add", 0, 0.3, ninf},
+				{"add", 1, 0.5, 0.3},
+				{"remove", 0, 0, ninf}, // below capacity again
+				{"add", 2, 0.25, 0.25}, // refills to k; threshold = worst stored
+				{"add", 3, 0.6, 0.5},   // evicts 0.25
+			},
+		},
+		{
+			name: "unbounded stays at -Inf",
+			k:    0,
+			ops: []op{
+				{"add", 0, 0.3, ninf},
+				{"add", 1, 0.9, ninf},
+				{"add", 2, 0.1, ninf},
+			},
+		},
+		{
+			name: "tied evictions never lower threshold",
+			k:    1,
+			ops: []op{
+				{"add", 1, 0.5, 0.5},
+				{"add", 0, 0.5, 0.5}, // tie-admitted on key; threshold holds
+				{"add", 2, 0.5, 0.5}, // tie-rejected on key; threshold holds
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := New(tc.k, 0.0)
+			prev := math.Inf(-1)
+			for i, o := range tc.ops {
+				switch o.verb {
+				case "add":
+					l.Add(mk(o.attr, 0, 1, o.score))
+					if l.Threshold() < prev {
+						t.Fatalf("op %d: threshold moved down %v -> %v after add", i, prev, l.Threshold())
+					}
+				case "remove":
+					l.Remove(mk(o.attr, 0, 1, 0).Set.Key())
+				}
+				got := l.Threshold()
+				if got != o.want && !(math.IsInf(o.want, -1) && math.IsInf(got, -1)) {
+					t.Fatalf("op %d (%s attr=%d score=%v): threshold = %v, want %v",
+						i, o.verb, o.attr, o.score, got, o.want)
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+// Property: the final list content is invariant under the arrival order of
+// any candidate multiset (distinct keys, possibly tied scores).
+func TestOrderInvarianceProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cs []pattern.Contrast
+		for i := 0; i < int(n%20)+2; i++ {
+			// Coarse scores force ties.
+			cs = append(cs, mk(i, 0, 1, float64(rng.Intn(4))/4))
+		}
+		run := func(perm []int) string {
+			l := New(3, 0.0)
+			for _, i := range perm {
+				l.Add(cs[i])
+			}
+			var sig string
+			for _, c := range l.Contrasts() {
+				sig += fmt.Sprintf("%s=%v;", c.Set.Key(), c.Score)
+			}
+			return sig
+		}
+		base := make([]int, len(cs))
+		for i := range base {
+			base[i] = i
+		}
+		want := run(base)
+		for trial := 0; trial < 5; trial++ {
+			perm := rng.Perm(len(cs))
+			if got := run(perm); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }

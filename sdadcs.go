@@ -308,8 +308,12 @@ const (
 // to treat it as a skipped tick rather than a fatal condition.
 var ErrWindowNotMineable = stream.ErrWindowNotMineable
 
-// NewStreamMonitor builds a sliding-window contrast pattern monitor.
-func NewStreamMonitor(schema StreamSchema, cfg StreamConfig) *StreamMonitor {
+// NewStreamMonitor builds a sliding-window contrast pattern monitor. A
+// malformed configuration (negative window, cadence or thresholds, or an
+// invalid embedded Mining config) is rejected up front; the error joins
+// typed field errors (stream.FieldError / core.FieldError) addressable
+// with errors.As.
+func NewStreamMonitor(schema StreamSchema, cfg StreamConfig) (*StreamMonitor, error) {
 	return stream.NewMonitor(schema, cfg)
 }
 

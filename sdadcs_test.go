@@ -158,10 +158,13 @@ func TestPublicAPISTUCCOAndDiscretized(t *testing.T) {
 }
 
 func TestPublicAPIStreamMonitor(t *testing.T) {
-	m := sdadcs.NewStreamMonitor(
+	m, err := sdadcs.NewStreamMonitor(
 		sdadcs.StreamSchema{Name: "s", Continuous: []string{"x"}},
 		sdadcs.StreamConfig{WindowSize: 200, MineEvery: 100},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 300; i++ {
 		group := "A"
 		if i%2 == 0 {
