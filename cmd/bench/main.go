@@ -1,0 +1,450 @@
+// Command bench is the performance-trajectory harness: it runs four
+// fixed-seed workloads — categorical-heavy, mixed, wide-continuous, and
+// serve-throughput — under both the slice and bitmap counting engines and
+// writes a schema'd BENCH_<rev>.json snapshot. CI runs it on every PR and
+// gates the result against the committed main baseline, so the repo
+// carries a recorded performance trajectory instead of anecdotes.
+//
+// Usage:
+//
+//	bench -rev $(git rev-parse --short HEAD) -out BENCH_abc1234.json
+//	bench -quick -out /tmp/b.json                    # CI-sized run
+//	bench -compare /tmp/b.json -baseline BENCH_*.json -tolerance 0.25
+//
+// Gating is ratio-first: speedup_vs_slice is machine-independent, so it
+// gates tightly; absolute wall times vary across runners, so the wall gate
+// only catches catastrophic regressions (see -wall-tolerance).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sdadcs/internal/core"
+	"sdadcs/internal/datagen"
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
+	"sdadcs/internal/serve"
+)
+
+// Schema identifies the BENCH_*.json layout; bump on breaking changes.
+const Schema = "sdadcs-bench/v1"
+
+// Report is the root of a BENCH_*.json file.
+type Report struct {
+	Schema    string     `json:"schema"`
+	Revision  string     `json:"revision"`
+	Go        string     `json:"go"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	Runs      int        `json:"runs"`
+	Quick     bool       `json:"quick,omitempty"`
+	Workloads []Workload `json:"workloads"`
+}
+
+// Workload is one benchmarked scenario. Wall times are for the bitmap
+// engine (the production default); SliceWallNsBest is the same workload
+// under the slice engine, and SpeedupVsSlice their best-over-best ratio —
+// the machine-independent number the CI gate leans on.
+type Workload struct {
+	Name            string  `json:"name"`
+	Rows            int     `json:"rows"`
+	Attrs           int     `json:"attrs"`
+	Contrasts       int     `json:"contrasts"`
+	WallNsBest      int64   `json:"wall_ns_best"`
+	WallNsMean      int64   `json:"wall_ns_mean"`
+	SliceWallNsBest int64   `json:"slice_wall_ns_best"`
+	SpeedupVsSlice  float64 `json:"speedup_vs_slice"`
+	// Allocation-discipline evidence (mining workloads).
+	ArenaRecycleRate float64 `json:"arena_recycle_rate,omitempty"`
+	// Index-cache evidence: builds across the whole workload (the serve
+	// workload requires exactly 1).
+	IndexBuilds int64 `json:"index_builds,omitempty"`
+	// Serve-throughput extras.
+	Jobs  int     `json:"jobs,omitempty"`
+	RPS   float64 `json:"rps,omitempty"`
+	P50Ns int64   `json:"p50_ns,omitempty"`
+	P99Ns int64   `json:"p99_ns,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "", "write the JSON report to this path (default stdout)")
+		rev      = fs.String("rev", "dev", "revision label recorded in the report")
+		runs     = fs.Int("runs", 3, "repetitions per workload; best and mean are recorded")
+		quick    = fs.Bool("quick", false, "CI-sized datasets and a single repetition")
+		compare  = fs.String("compare", "", "gate this report file against -baseline instead of benchmarking")
+		baseline = fs.String("baseline", "", "baseline BENCH_*.json for -compare")
+		tol      = fs.Float64("tolerance", 0.25, "allowed fractional speedup regression vs baseline")
+		wallTol  = fs.Float64("wall-tolerance", 2.0, "allowed fractional wall-time growth vs baseline (catastrophic backstop)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *compare != "" {
+		if *baseline == "" {
+			fmt.Fprintln(stderr, "bench: -compare requires -baseline")
+			return 2
+		}
+		return compareReports(*compare, *baseline, *tol, *wallTol, stdout, stderr)
+	}
+
+	rep, err := collect(*rev, *runs, *quick, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d workloads)\n", *out, len(rep.Workloads))
+	return 0
+}
+
+// collect runs every workload and assembles the report.
+func collect(rev string, runs int, quick bool, stdout io.Writer) (*Report, error) {
+	if quick {
+		runs = 1
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	rep := &Report{
+		Schema:   Schema,
+		Revision: rev,
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Runs:     runs,
+		Quick:    quick,
+	}
+	for _, wl := range []struct {
+		name string
+		f    func(runs int, quick bool) (Workload, error)
+	}{
+		{"categorical-heavy", benchCategorical},
+		{"mixed", benchMixed},
+		{"wide-continuous", benchWideContinuous},
+		{"serve-throughput", benchServe},
+	} {
+		start := time.Now()
+		w, err := wl.f(runs, quick)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", wl.name, err)
+		}
+		w.Name = wl.name
+		rep.Workloads = append(rep.Workloads, w)
+		fmt.Fprintf(stdout, "[%s: best %s, speedup_vs_slice %.2fx, measured in %s]\n",
+			wl.name, time.Duration(w.WallNsBest).Round(time.Microsecond),
+			w.SpeedupVsSlice, time.Since(start).Round(time.Millisecond))
+	}
+	return rep, nil
+}
+
+// mineWorkload times cfg over d under both engines. The cached index is
+// dropped once before the bitmap runs: the first run pays the build (it
+// lands in the mean), later runs hit the dataset-attached cache, so
+// best-of-N measures the amortized production path — build once per
+// dataset ever, reuse across Mine calls.
+func mineWorkload(d *dataset.Dataset, cfg core.Config, runs int) (Workload, error) {
+	w := Workload{Rows: d.Rows(), Attrs: d.NumAttrs()}
+
+	sliceCfg := cfg
+	sliceCfg.Counting = core.CountingSlice
+	bitmapCfg := cfg
+	bitmapCfg.Counting = core.CountingBitmap
+
+	var sliceBest, bitmapBest, bitmapSum int64
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		core.Mine(d, sliceCfg)
+		if ns := int64(time.Since(start)); sliceBest == 0 || ns < sliceBest {
+			sliceBest = ns
+		}
+	}
+	d.Index().Drop()
+	buildsBefore := d.Index().Builds()
+	for i := 0; i < runs; i++ {
+		rec := metrics.New()
+		bitmapCfg.Metrics = rec
+		start := time.Now()
+		res := core.Mine(d, bitmapCfg)
+		ns := int64(time.Since(start))
+		bitmapSum += ns
+		if bitmapBest == 0 || ns < bitmapBest {
+			bitmapBest = ns
+		}
+		s := rec.Snapshot()
+		w.Contrasts = len(res.Contrasts)
+		if total := s.ArenaFresh + s.ArenaReused; total > 0 {
+			w.ArenaRecycleRate = float64(s.ArenaReused) / float64(total)
+		}
+	}
+	w.IndexBuilds = d.Index().Builds() - buildsBefore
+	w.WallNsBest = bitmapBest
+	w.WallNsMean = bitmapSum / int64(runs)
+	w.SliceWallNsBest = sliceBest
+	if bitmapBest > 0 {
+		w.SpeedupVsSlice = float64(sliceBest) / float64(bitmapBest)
+	}
+	return w, nil
+}
+
+// benchCategorical: the manufacturing generator — all-categorical, the
+// shape where bitmap AND+popcount kernels and the arena pay off most.
+func benchCategorical(runs int, quick bool) (Workload, error) {
+	cfg := datagen.ManufacturingConfig{Seed: 101, Population: 6000, Failed: 1500, Features: 14}
+	depth := 3
+	if quick {
+		cfg.Population, cfg.Failed, cfg.Features, depth = 1500, 400, 10, 2
+	}
+	return mineWorkload(datagen.Manufacturing(cfg), core.Config{MaxDepth: depth, Workers: 1}, runs)
+}
+
+// benchMixed: the Adult generator — categorical and continuous attributes,
+// the paper's flagship dataset shape.
+func benchMixed(runs int, quick bool) (Workload, error) {
+	cfg := datagen.AdultConfig{Seed: 102, Bachelors: 8025, Doctorate: 594}
+	depth := 2
+	if quick {
+		cfg.Bachelors, cfg.Doctorate = 2000, 180
+	}
+	return mineWorkload(datagen.Adult(cfg), core.Config{MaxDepth: depth, Workers: 1}, runs)
+}
+
+// benchWideContinuous: a planted Spambase-like shape — many continuous
+// attributes, where the SDAD-CS recursion dominates and the bitmap engine
+// mostly helps at the categorical frontier of each combination.
+func benchWideContinuous(runs int, quick bool) (Workload, error) {
+	spec := datagen.UCISpec{
+		Name: "bench-wide", Group0: "a", Group1: "b",
+		N0: 1800, N1: 1400, Cat: 2, Cont: 24, Strength: 0.5, Seed: 103,
+	}
+	depth := 2
+	if quick {
+		spec.N0, spec.N1, spec.Cont = 600, 450, 12
+	}
+	return mineWorkload(datagen.Planted(spec), core.Config{MaxDepth: depth, Workers: 1}, runs)
+}
+
+// benchServe drives the mining service end to end: J jobs over one
+// registered dataset with distinct top_k values (top_k is part of the
+// result-cache key, so every job re-mines), first under the slice engine,
+// then under bitmap on a fresh server. Reports RPS and latency quantiles
+// for the bitmap phase and the phase-over-phase speedup; IndexBuilds must
+// come out 1 — the cached-index guarantee under serve concurrency.
+func benchServe(runs int, quick bool) (Workload, error) {
+	gen := datagen.ManufacturingConfig{Seed: 104, Population: 2500, Failed: 700, Features: 10}
+	jobs, depth := 24, 2
+	if quick {
+		gen.Population, gen.Failed, gen.Features = 800, 220, 8
+		jobs = 10
+	}
+	d := datagen.Manufacturing(gen)
+
+	slicePhase := func() (time.Duration, []time.Duration, int64, error) {
+		return servePhase(d, jobs, depth, core.CountingSlice)
+	}
+	bitmapPhase := func() (time.Duration, []time.Duration, int64, error) {
+		return servePhase(d, jobs, depth, core.CountingBitmap)
+	}
+
+	var sliceBest, bitmapBest time.Duration
+	var lat []time.Duration
+	var builds int64
+	for i := 0; i < runs; i++ {
+		wall, _, _, err := slicePhase()
+		if err != nil {
+			return Workload{}, err
+		}
+		if sliceBest == 0 || wall < sliceBest {
+			sliceBest = wall
+		}
+	}
+	var bitmapSum time.Duration
+	for i := 0; i < runs; i++ {
+		wall, l, b, err := bitmapPhase()
+		if err != nil {
+			return Workload{}, err
+		}
+		bitmapSum += wall
+		if bitmapBest == 0 || wall < bitmapBest {
+			bitmapBest, lat, builds = wall, l, b
+		}
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	w := Workload{
+		Rows:            d.Rows(),
+		Attrs:           d.NumAttrs(),
+		Jobs:            jobs,
+		WallNsBest:      int64(bitmapBest),
+		WallNsMean:      int64(bitmapSum) / int64(runs),
+		SliceWallNsBest: int64(sliceBest),
+		IndexBuilds:     builds,
+		RPS:             float64(jobs) / bitmapBest.Seconds(),
+		P50Ns:           int64(quantile(lat, 0.50)),
+		P99Ns:           int64(quantile(lat, 0.99)),
+	}
+	if bitmapBest > 0 {
+		w.SpeedupVsSlice = float64(sliceBest) / float64(bitmapBest)
+	}
+	if builds != 1 {
+		return w, fmt.Errorf("index built %d times across %d jobs, want exactly 1", builds, jobs)
+	}
+	return w, nil
+}
+
+// servePhase registers d on a fresh server, submits jobs concurrent jobs
+// with distinct top_k, waits for all of them, and reports phase wall time,
+// per-job latencies, and the registry's lifetime index-build count.
+func servePhase(d *dataset.Dataset, jobs, depth int, counting core.CountingMode) (time.Duration, []time.Duration, int64, error) {
+	s := serve.New(serve.Options{Workers: runtime.GOMAXPROCS(0), QueueDepth: jobs + 4})
+	defer s.Close(10 * time.Second)
+
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(dataset.WriteCSV(pw, d, "group")) }()
+	csv, err := io.ReadAll(pr)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	info, err := s.Registry().Register(d.Name(), csv, "group", nil)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+
+	type pending struct {
+		job   *serve.Job
+		start time.Time
+	}
+	subs := make([]pending, 0, jobs)
+	phaseStart := time.Now()
+	for i := 0; i < jobs; i++ {
+		cfg := core.Config{MaxDepth: depth, TopK: 20 + i, Counting: counting}
+		j, err := s.Manager().Submit(info.ID, cfg, time.Minute)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		subs = append(subs, pending{job: j, start: time.Now()})
+	}
+	lat := make([]time.Duration, 0, jobs)
+	for _, p := range subs {
+		<-p.job.Done()
+		if _, state, err := p.job.Output(); err != nil {
+			return 0, nil, 0, fmt.Errorf("job %s: %w", p.job.ID, err)
+		} else if state != serve.JobDone {
+			return 0, nil, 0, fmt.Errorf("job %s ended %s", p.job.ID, state)
+		}
+		lat = append(lat, time.Since(p.start))
+	}
+	wall := time.Since(phaseStart)
+	_, builds, _ := s.Registry().IndexStats()
+	return wall, lat, builds, nil
+}
+
+// quantile returns the q-quantile of sorted latencies (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// compareReports gates candidate against baseline: every baseline workload
+// must exist in the candidate, its speedup_vs_slice must not regress more
+// than tol (fractional), its best wall time must not grow more than
+// wallTol (fractional — generous, machine drift is real), and the serve
+// workload must keep index_builds == 1. Exit 1 on any violation.
+func compareReports(candidatePath, baselinePath string, tol, wallTol float64, stdout, stderr io.Writer) int {
+	cand, err := readReport(candidatePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 2
+	}
+	base, err := readReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: %v\n", err)
+		return 2
+	}
+	byName := make(map[string]Workload, len(cand.Workloads))
+	for _, w := range cand.Workloads {
+		byName[w.Name] = w
+	}
+	failures := 0
+	for _, bw := range base.Workloads {
+		cw, ok := byName[bw.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "FAIL %s: workload missing from candidate\n", bw.Name)
+			failures++
+			continue
+		}
+		minSpeedup := bw.SpeedupVsSlice * (1 - tol)
+		if cw.SpeedupVsSlice < minSpeedup {
+			fmt.Fprintf(stderr, "FAIL %s: speedup_vs_slice %.3f < %.3f (baseline %.3f, tolerance %.0f%%)\n",
+				bw.Name, cw.SpeedupVsSlice, minSpeedup, bw.SpeedupVsSlice, tol*100)
+			failures++
+		}
+		maxWall := float64(bw.WallNsBest) * (1 + wallTol)
+		if float64(cw.WallNsBest) > maxWall {
+			fmt.Fprintf(stderr, "FAIL %s: wall_ns_best %d > %.0f (baseline %d, tolerance %.0f%%)\n",
+				bw.Name, cw.WallNsBest, maxWall, bw.WallNsBest, wallTol*100)
+			failures++
+		}
+		if bw.Name == "serve-throughput" && cw.IndexBuilds != 1 {
+			fmt.Fprintf(stderr, "FAIL %s: index_builds = %d, want 1\n", bw.Name, cw.IndexBuilds)
+			failures++
+		}
+		fmt.Fprintf(stdout, "%-18s speedup %.2fx (baseline %.2fx)  wall %s (baseline %s)\n",
+			bw.Name, cw.SpeedupVsSlice, bw.SpeedupVsSlice,
+			time.Duration(cw.WallNsBest).Round(time.Microsecond),
+			time.Duration(bw.WallNsBest).Round(time.Microsecond))
+	}
+	if failures > 0 {
+		fmt.Fprintf(stderr, "bench: %d gate failure(s)\n", failures)
+		return 1
+	}
+	fmt.Fprintln(stdout, "bench: all gates passed")
+	return 0
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}

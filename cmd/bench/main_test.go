@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// quickReport runs the harness once in -quick mode and parses the report;
+// shared across tests because even the quick workloads take seconds.
+var quickReport = func() func(t *testing.T) (*Report, string) {
+	var rep *Report
+	var path string
+	return func(t *testing.T) (*Report, string) {
+		t.Helper()
+		if rep != nil {
+			return rep, path
+		}
+		dir, err := os.MkdirTemp("", "bench")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path = filepath.Join(dir, "BENCH_test.json")
+		var out, errBuf bytes.Buffer
+		if code := run([]string{"-quick", "-rev", "test", "-out", path}, &out, &errBuf); code != 0 {
+			t.Fatalf("bench exit %d: %s", code, errBuf.String())
+		}
+		rep, err = readReport(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, path
+	}
+}()
+
+// TestQuickRunProducesAllWorkloads: one -quick run emits a schema'd report
+// with all four workloads, positive timings, and the serve workload's
+// one-build index guarantee.
+func TestQuickRunProducesAllWorkloads(t *testing.T) {
+	rep, _ := quickReport(t)
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Revision != "test" || rep.Go == "" || rep.CPUs <= 0 {
+		t.Fatalf("environment header incomplete: %+v", rep)
+	}
+	want := []string{"categorical-heavy", "mixed", "wide-continuous", "serve-throughput"}
+	if len(rep.Workloads) != len(want) {
+		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(want))
+	}
+	for i, w := range rep.Workloads {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %q, want %q", i, w.Name, want[i])
+		}
+		if w.WallNsBest <= 0 || w.WallNsMean <= 0 || w.SliceWallNsBest <= 0 {
+			t.Errorf("%s: non-positive timings %+v", w.Name, w)
+		}
+		if w.SpeedupVsSlice <= 0 {
+			t.Errorf("%s: speedup_vs_slice = %v", w.Name, w.SpeedupVsSlice)
+		}
+		if w.WallNsBest > w.WallNsMean {
+			t.Errorf("%s: best %d exceeds mean %d", w.Name, w.WallNsBest, w.WallNsMean)
+		}
+		if w.Rows <= 0 || w.Attrs <= 0 {
+			t.Errorf("%s: missing dataset shape", w.Name)
+		}
+	}
+	serve := rep.Workloads[3]
+	if serve.IndexBuilds != 1 {
+		t.Errorf("serve-throughput index_builds = %d, want 1", serve.IndexBuilds)
+	}
+	if serve.Jobs == 0 || serve.RPS <= 0 || serve.P50Ns <= 0 || serve.P99Ns < serve.P50Ns {
+		t.Errorf("serve-throughput stats incomplete: %+v", serve)
+	}
+	for _, w := range rep.Workloads[:3] {
+		if w.IndexBuilds != 1 {
+			t.Errorf("%s: index_builds = %d, want 1 (dropped before each run)", w.Name, w.IndexBuilds)
+		}
+	}
+	if rep.Workloads[0].ArenaRecycleRate <= 0 {
+		t.Errorf("categorical-heavy: arena recycle rate = %v, want > 0",
+			rep.Workloads[0].ArenaRecycleRate)
+	}
+}
+
+// TestCompareSelfPasses: a report gated against itself passes.
+func TestCompareSelfPasses(t *testing.T) {
+	_, path := quickReport(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-compare", path, "-baseline", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("self-compare exit %d: %s", code, errBuf.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("all gates passed")) {
+		t.Fatalf("missing pass line: %s", out.String())
+	}
+}
+
+// TestCompareDetectsRegression: a baseline whose speedup is far above the
+// candidate's fails the ratio gate; a baseline with far smaller wall time
+// fails the backstop wall gate.
+func TestCompareDetectsRegression(t *testing.T) {
+	rep, path := quickReport(t)
+
+	doctor := func(t *testing.T, mutate func(*Workload)) string {
+		t.Helper()
+		clone := *rep
+		clone.Workloads = append([]Workload(nil), rep.Workloads...)
+		for i := range clone.Workloads {
+			mutate(&clone.Workloads[i])
+		}
+		data, err := json.MarshalIndent(&clone, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "BENCH_doctored.json")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	fastBaseline := doctor(t, func(w *Workload) { w.SpeedupVsSlice *= 100 })
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-compare", path, "-baseline", fastBaseline}, &out, &errBuf); code != 1 {
+		t.Fatalf("speedup regression not caught: exit %d, %s", code, errBuf.String())
+	}
+	if !bytes.Contains(errBuf.Bytes(), []byte("speedup_vs_slice")) {
+		t.Fatalf("wrong failure reason: %s", errBuf.String())
+	}
+
+	tinyWall := doctor(t, func(w *Workload) { w.WallNsBest = 1 })
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-compare", path, "-baseline", tinyWall}, &out, &errBuf); code != 1 {
+		t.Fatalf("wall regression not caught: exit %d, %s", code, errBuf.String())
+	}
+	if !bytes.Contains(errBuf.Bytes(), []byte("wall_ns_best")) {
+		t.Fatalf("wrong failure reason: %s", errBuf.String())
+	}
+}
+
+// TestCompareRejectsBadInputs: missing baseline flag and schema mismatch
+// are usage errors, not gate failures.
+func TestCompareRejectsBadInputs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-compare", "x.json"}, &out, &errBuf); code != 2 {
+		t.Fatalf("missing -baseline: exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-compare", bad, "-baseline", bad}, &out, &errBuf); code != 2 {
+		t.Fatalf("schema mismatch: exit %d", code)
+	}
+}

@@ -1,0 +1,76 @@
+package bitmap
+
+// Arena recycles fixed-universe cover sets through a free list, so the
+// per-level AND cascade of the levelwise search allocates each cover's
+// word block once and reuses it for the rest of the Mine call instead of
+// leaving a garbage trail proportional to the frontier. It is NOT
+// concurrency-safe: the miner allocates and releases covers only from the
+// (serial) frontier-expansion step, never from per-level workers.
+//
+// Get returns sets with UNDEFINED word contents — callers must write every
+// word before reading (the fused kernels AndCountInto and ChildCovers do).
+type Arena struct {
+	n    int
+	free []*Set
+
+	fresh    int64 // sets allocated because the free list was empty
+	reused   int64 // sets handed out from the free list
+	released int64 // sets returned by Put
+
+	// scratch buffers for ChildCovers, reused across batches.
+	covers []*Set
+	counts []int
+}
+
+// NewArena builds an arena for covers over a universe of n rows.
+func NewArena(n int) *Arena { return &Arena{n: n} }
+
+// Get returns a cover set over the arena's universe. Contents are
+// undefined; the caller must fully overwrite the words.
+func (a *Arena) Get() *Set {
+	if k := len(a.free); k > 0 {
+		s := a.free[k-1]
+		a.free = a.free[:k-1]
+		a.reused++
+		return s
+	}
+	a.fresh++
+	return New(a.n)
+}
+
+// Put returns a cover to the free list. The set must have come from Get
+// (same universe) and must not be used afterwards. Shared index bitmaps
+// must never be Put — the miner tracks cover ownership for exactly this
+// reason.
+func (a *Arena) Put(s *Set) {
+	if s == nil || s.n != a.n {
+		return
+	}
+	a.released++
+	a.free = append(a.free, s)
+}
+
+// scratch returns per-batch cover and count buffers of length k, reused
+// across ChildCovers calls.
+func (a *Arena) scratch(k int) ([]*Set, []int) {
+	if cap(a.covers) < k {
+		a.covers = make([]*Set, k)
+		a.counts = make([]int, k)
+	}
+	return a.covers[:k], a.counts[:k]
+}
+
+// ArenaStats reports the arena's allocation discipline: how many covers
+// were freshly allocated, how many were served from the free list, and how
+// many were released back. reused/(fresh+reused) is the recycle rate the
+// allocation-discipline benchmarks track.
+type ArenaStats struct {
+	Fresh    int64
+	Reused   int64
+	Released int64
+}
+
+// Stats snapshots the arena counters.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{Fresh: a.fresh, Reused: a.reused, Released: a.released}
+}

@@ -1,0 +1,222 @@
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/dataset"
+)
+
+// randomSet fills a set over universe n with density p.
+func randomSet(rng *rand.Rand, n int, p float64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// naiveAndCount is the reference two-pass loop the fused kernels must
+// match bit-for-bit: materialize the intersection, then popcount it.
+func naiveAndCount(a, b *Set) (*Set, int) {
+	inter := a.And(b)
+	return inter, inter.Count()
+}
+
+func sameSet(a, b *Set) bool {
+	if a.Universe() != b.Universe() {
+		return false
+	}
+	ra, rb := a.Rows(), b.Rows()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAndCountIntoMatchesNaive: the fused AND+popcount kernel equals the
+// two-pass And+Count on random word patterns, including universes with a
+// trailing partial word, and is correct when dst comes from a dirty arena
+// block (contents undefined).
+func TestAndCountIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	arena := NewArena(0) // rebuilt per universe below
+	for _, n := range []int{1, 7, 63, 64, 65, 128, 193, 1000, 4113} {
+		arena = NewArena(n)
+		for _, p := range []float64{0, 0.01, 0.2, 0.5, 0.97, 1} {
+			for trial := 0; trial < 8; trial++ {
+				a := randomSet(rng, n, p)
+				b := randomSet(rng, n, rng.Float64())
+				want, wantCount := naiveAndCount(a, b)
+
+				dst := New(n)
+				if got := a.AndCountInto(b, dst); got != wantCount {
+					t.Fatalf("n=%d p=%v: AndCountInto = %d, naive = %d", n, p, got, wantCount)
+				} else if !sameSet(dst, want) {
+					t.Fatalf("n=%d p=%v: fused intersection differs from And", n, p)
+				}
+
+				// Dirty-reuse path: poison an arena block, release it, and
+				// let the kernel overwrite every word.
+				poison := arena.Get()
+				poison.Fill()
+				arena.Put(poison)
+				dirty := arena.Get()
+				if got := a.AndCountInto(b, dirty); got != wantCount || !sameSet(dirty, want) {
+					t.Fatalf("n=%d p=%v: fused kernel wrong on dirty arena block", n, p)
+				}
+				arena.Put(dirty)
+			}
+		}
+	}
+}
+
+// TestAndCountAtLeastMatchesNaive: the early-exit kernel (success exit on
+// reaching k, failure exit on the remaining-words upper bound) agrees with
+// the naive count for thresholds at and around the true count, at the
+// extremes, and on trailing-partial-word universes.
+func TestAndCountAtLeastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 63, 64, 65, 129, 1000, 4113} {
+		for _, p := range []float64{0, 0.05, 0.5, 1} {
+			for trial := 0; trial < 8; trial++ {
+				a := randomSet(rng, n, p)
+				b := randomSet(rng, n, rng.Float64())
+				_, c := naiveAndCount(a, b)
+				// Threshold-at-boundary cases: k = c is the largest k that
+				// must succeed, k = c+1 the smallest that must fail.
+				ks := []int{-1, 0, 1, c - 1, c, c + 1, c * 2, n, n + 64}
+				for _, k := range ks {
+					if got, want := a.AndCountAtLeast(b, k), c >= k || k <= 0; got != want {
+						t.Fatalf("n=%d count=%d k=%d: AndCountAtLeast = %v, want %v",
+							n, c, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// kernelDataset builds a random categorical dataset for index-level kernel
+// tests: one categorical attribute with the given domain size and g groups.
+func kernelDataset(rng *rand.Rand, rows, domain, groups int) *dataset.Dataset {
+	vals := make([]string, rows)
+	grp := make([]string, rows)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%d", rng.Intn(domain))
+		grp[i] = fmt.Sprintf("g%d", rng.Intn(groups))
+	}
+	// Force every group name to appear so the builder sees >= 2 groups.
+	for g := 0; g < groups && g < rows; g++ {
+		grp[g] = fmt.Sprintf("g%d", g)
+	}
+	return dataset.NewBuilder("kernels").
+		AddCategorical("attr", vals).
+		SetGroups(grp).
+		MustBuild()
+}
+
+// TestGroupCountsIntoMatchesNaive: the fused multi-mask popcount — both
+// the unrolled two-group path and the general path — equals a per-group
+// AndCount loop on random covers.
+func TestGroupCountsIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, groups := range []int{2, 3, 5} {
+		for _, rows := range []int{65, 130, 1001} {
+			d := kernelDataset(rng, rows, 6, groups)
+			ix := NewIndex(d)
+			for trial := 0; trial < 10; trial++ {
+				cover := randomSet(rng, rows, rng.Float64())
+				got := make([]int, d.NumGroups())
+				ix.GroupCountsInto(cover, got)
+				for g := 0; g < d.NumGroups(); g++ {
+					if want := cover.AndCount(ix.Group(g)); got[g] != want {
+						t.Fatalf("groups=%d rows=%d g=%d: fused %d, naive %d",
+							groups, rows, g, got[g], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChildCoversMatchesNaive: the batched sibling kernel emits exactly
+// the non-empty per-code intersections, in ascending code order, with
+// exact counts — identical to per-child And+Count.
+func TestChildCoversMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, rows := range []int{64, 100, 1003} {
+		d := kernelDataset(rng, rows, 8, 2)
+		ix := NewIndex(d)
+		arena := NewArena(rows)
+		for trial := 0; trial < 10; trial++ {
+			parent := randomSet(rng, rows, rng.Float64()*0.6)
+			type child struct {
+				code  int
+				cover *Set
+				count int
+			}
+			var got []child
+			ix.ChildCovers(parent, 0, arena, func(code int, cover *Set, count int) {
+				got = append(got, child{code, cover, count})
+			})
+			var want []child
+			for code := range d.Domain(0) {
+				inter, c := naiveAndCount(parent, ix.Value(0, code))
+				if c > 0 {
+					want = append(want, child{code, inter, c})
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("rows=%d: batch emitted %d children, naive %d", rows, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].code != want[i].code || got[i].count != want[i].count ||
+					!sameSet(got[i].cover, want[i].cover) {
+					t.Fatalf("rows=%d child %d: batch (code=%d,count=%d) vs naive (code=%d,count=%d)",
+						rows, i, got[i].code, got[i].count, want[i].code, want[i].count)
+				}
+			}
+			for _, ch := range got {
+				arena.Put(ch.cover)
+			}
+		}
+	}
+}
+
+// TestArenaRecycling: the free list hands back released blocks before
+// allocating fresh ones, tracks its stats, and rejects foreign universes.
+func TestArenaRecycling(t *testing.T) {
+	a := NewArena(200)
+	s1 := a.Get()
+	s2 := a.Get()
+	if st := a.Stats(); st.Fresh != 2 || st.Reused != 0 {
+		t.Fatalf("after two gets: %+v", st)
+	}
+	a.Put(s1)
+	s3 := a.Get()
+	if s3 != s1 {
+		t.Error("Get did not reuse the released block")
+	}
+	if st := a.Stats(); st.Fresh != 2 || st.Reused != 1 || st.Released != 1 {
+		t.Fatalf("after recycle: %+v", st)
+	}
+	a.Put(New(100)) // wrong universe: must be rejected
+	if st := a.Stats(); st.Released != 1 {
+		t.Error("arena accepted a foreign-universe set")
+	}
+	a.Put(nil)
+	if st := a.Stats(); st.Released != 1 {
+		t.Error("arena accepted nil")
+	}
+	a.Put(s2)
+	a.Put(s3)
+}

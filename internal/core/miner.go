@@ -50,11 +50,20 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 		tr:    cfg.Trace,
 	}
 	if cfg.Counting.bitmap() {
-		// Build the per-(attr,value) bitmaps and per-group masks once per
-		// Mine call; every candidate cover below is an intersection of
-		// these and every support count a popcount against a group mask.
-		m.index = bitmap.NewIndex(d)
-		m.rec.BitmapBuilds(m.index.NumBitmaps())
+		// The per-(attr,value) bitmaps and per-group masks are cached on
+		// the dataset itself (dataset.Index): the first Mine against a
+		// dataset builds them, every later call — and every serve job
+		// sharing the registry entry — reuses them. Every candidate cover
+		// below is an intersection of these and every support count a
+		// popcount against a group mask.
+		ix, built := bitmap.Shared(d)
+		m.index = ix
+		m.arena = bitmap.NewArena(d.Rows())
+		if built {
+			m.rec.BitmapBuilds(ix.NumBitmaps())
+		} else {
+			m.rec.BitmapIndexReuse()
+		}
 	}
 	attrs := cfg.Attrs
 	if attrs == nil {
@@ -84,7 +93,11 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 			if level == cfg.MaxDepth {
 				break
 			}
-			frontier = m.expand(survivors, attrs)
+			next := m.expand(survivors, attrs)
+			// Double-buffer the frontier: the dead level's node slice backs
+			// the next expansion's output.
+			m.spare = frontier[:0]
+			frontier = next
 		}
 	}
 
@@ -117,6 +130,10 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, e
 		m.rec.TraceVolume(m.tr.Stats())
 		res.Trace = m.tr.Snapshot()
 	}
+	if m.arena != nil {
+		st := m.arena.Stats()
+		m.rec.ArenaObserve(st.Fresh, st.Reused, st.Released)
+	}
 	res.Metrics = m.snapshot()
 	return res, interrupted
 }
@@ -137,10 +154,18 @@ type miner struct {
 	memo  *supportMemo
 	stats Stats
 	// index is the bitmap support-counting engine (nil = slice engine):
-	// one bitmap per categorical value and per group, built once per Mine
-	// call. It is immutable after construction, so per-level workers share
-	// it without locks.
+	// one bitmap per categorical value and per group, cached on the
+	// dataset and built at most once per dataset ever (bitmap.Shared). It
+	// is immutable after construction, so per-level workers — and other
+	// concurrent Mine calls over the same dataset — share it without locks.
 	index *bitmap.Index
+	// arena recycles cover word blocks across the frontier's AND cascade
+	// (bitmap engine only). Only the serial expansion step touches it;
+	// per-level workers never allocate or release covers.
+	arena *bitmap.Arena
+	// spare is the previous level's frontier slice, recycled as the next
+	// expand's output buffer (double-buffered levelwise frontiers).
+	spare []node
 	// rec is the optional instrumentation sink (nil = disabled). It is
 	// shared with every per-level worker goroutine; all its operations
 	// are atomic.
@@ -180,6 +205,11 @@ type node struct {
 	bits      *bitmap.Set
 	contAttrs []int
 	lastAttr  int
+	// owned marks bits as an arena-allocated cover exclusive to this node
+	// (a fused-AND result). Shared index value bitmaps and covers aliased
+	// by a continuous extension are never owned, so only owned covers are
+	// ever recycled.
+	owned bool
 }
 
 // nodeOutcome is the result of evaluating one node.
@@ -227,48 +257,74 @@ func (m *miner) levelOne(attrs []int) []node {
 
 // expand generates the next level: every surviving node extended with
 // every attribute after its last (each combination visited exactly once).
-// A categorical extension's cover is parent ∧ value-bitmap (one AND over
-// packed words) under the bitmap engine, or a row scan under the slice
-// engine; empty covers are dropped either way.
+// Under the bitmap engine a parent's categorical extensions are computed
+// by the batched sibling kernel: one fused AND+popcount pass shared by
+// every sibling code, with covers drawn from (and empty covers recycled
+// to) the arena. The slice engine keeps its row scans. Empty covers are
+// dropped either way, and a parent's own cover is recycled as soon as its
+// last child is built — unless a continuous extension aliases it.
 func (m *miner) expand(nodes []node, attrs []int) []node {
-	var out []node
-	for _, nd := range nodes {
+	out := m.spare[:0]
+	m.spare = nil
+	for i := range nodes {
+		nd := nodes[i]
+		// escaped: a continuous extension shares the parent cover by
+		// reference, so the cover outlives this expansion round.
+		escaped := false
 		for _, attr := range attrs {
 			if attr <= nd.lastAttr {
 				continue
 			}
 			if m.d.Attr(attr).Kind == dataset.Categorical {
-				for code := range m.d.Domain(attr) {
-					child := node{
-						catSet:    nd.catSet.With(pattern.CatItem(attr, code)),
-						contAttrs: nd.contAttrs,
-						lastAttr:  attr,
-					}
-					if m.index != nil {
+				switch {
+				case m.index != nil && nd.bits != nil:
+					m.rec.BitmapAnds(len(m.d.Domain(attr)))
+					m.index.ChildCovers(nd.bits, attr, m.arena,
+						func(code int, cover *bitmap.Set, count int) {
+							out = append(out, node{
+								catSet:    nd.catSet.With(pattern.CatItem(attr, code)),
+								contAttrs: nd.contAttrs,
+								lastAttr:  attr,
+								bits:      cover,
+								owned:     true,
+							})
+						})
+				case m.index != nil:
+					// Parent covers every row: each child cover is the
+					// (shared, immutable) value bitmap itself.
+					for code := range m.d.Domain(attr) {
 						val := m.index.Value(attr, code)
-						if nd.bits == nil {
-							// Parent covers every row: the child cover is
-							// the (shared, immutable) value bitmap.
-							child.bits = val
-						} else {
-							child.bits = nd.bits.And(val)
-							m.rec.BitmapAnd()
-						}
-						if !child.bits.Any() {
+						if !val.Any() {
 							continue
 						}
-					} else {
-						child.catCover = nd.catCover.FilterCat(attr, code)
-						if child.catCover.Len() == 0 {
-							continue
-						}
+						out = append(out, node{
+							catSet:    nd.catSet.With(pattern.CatItem(attr, code)),
+							contAttrs: nd.contAttrs,
+							lastAttr:  attr,
+							bits:      val,
+						})
 					}
-					out = append(out, child)
+				default:
+					for code := range m.d.Domain(attr) {
+						cover := nd.catCover.FilterCat(attr, code)
+						if cover.Len() == 0 {
+							continue
+						}
+						out = append(out, node{
+							catSet:    nd.catSet.With(pattern.CatItem(attr, code)),
+							contAttrs: nd.contAttrs,
+							lastAttr:  attr,
+							catCover:  cover,
+						})
+					}
 				}
 			} else {
 				conts := make([]int, len(nd.contAttrs), len(nd.contAttrs)+1)
 				copy(conts, nd.contAttrs)
 				conts = append(conts, attr)
+				if nd.bits != nil {
+					escaped = true
+				}
 				out = append(out, node{
 					catSet:    nd.catSet,
 					catCover:  nd.catCover,
@@ -277,6 +333,9 @@ func (m *miner) expand(nodes []node, attrs []int) []node {
 					lastAttr:  attr,
 				})
 			}
+		}
+		if nd.owned && !escaped {
+			m.arena.Put(nd.bits)
 		}
 	}
 	return out
@@ -350,6 +409,9 @@ func (m *miner) processLevel(level int, frontier []node, alpha float64) []node {
 		}
 		if o.survived {
 			survivors = append(survivors, frontier[i])
+		} else if frontier[i].owned {
+			// Dead end: its cover feeds the next level's allocations.
+			m.arena.Put(frontier[i].bits)
 		}
 	}
 	if m.rec.Enabled() {
@@ -376,7 +438,9 @@ func (m *miner) evaluateTimed(level, worker int, nd node, alpha, threshold float
 
 // mineDFS explores nodes pre-order: each node is evaluated and its
 // children fully explored before its siblings. Lookup-table inserts and
-// top-k additions apply immediately.
+// top-k additions apply immediately. Covers are recycled at the same
+// points as the levelwise order: inside expand for explored nodes, right
+// here for dead ends and max-depth leaves.
 func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 	for _, nd := range nodes {
 		if m.cancelled() {
@@ -392,6 +456,8 @@ func (m *miner) mineDFS(nodes []node, attrs []int, level int, alpha float64) {
 		}
 		if o.survived && level < m.cfg.MaxDepth {
 			m.mineDFS(m.expand([]node{nd}, attrs), attrs, level+1, alpha)
+		} else if nd.owned {
+			m.arena.Put(nd.bits)
 		}
 	}
 }
@@ -462,7 +528,12 @@ func (m *miner) groupCounts(nd node) []int {
 		return counts
 	}
 	m.rec.BitmapPopcounts(len(m.sizes))
-	return m.index.GroupCounts(nd.bits)
+	// Fused multi-mask kernel: one pass over the cover counts every group,
+	// skipping zero cover words for all groups at once. The counts slice
+	// escapes into pattern.Supports, so it is freshly allocated.
+	counts := make([]int, len(m.sizes))
+	m.index.GroupCountsInto(nd.bits, counts)
+	return counts
 }
 
 // evaluateCategorical handles a categorical-only node (STUCCO semantics).

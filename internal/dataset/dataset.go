@@ -46,6 +46,10 @@ type Dataset struct {
 	groups     []int
 	groupNames []string
 	rows       int
+	// index is the acceleration-structure cache slot (see Index); it rides
+	// on the dataset so the counting engine's bitmap index is built once
+	// per dataset and reused across Mine calls and serve jobs.
+	index Index
 }
 
 // Name returns the dataset's name.

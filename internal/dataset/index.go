@@ -1,0 +1,67 @@
+package dataset
+
+import "sync"
+
+// Index is the per-dataset cache slot for an engine-built acceleration
+// structure (today: the bitmap value index of internal/bitmap). A Dataset
+// owns exactly one slot; the counting engine stores its structure through
+// LoadOrBuild, so the structure is built once per dataset object no matter
+// how many Mine calls or serve jobs share the dataset. The slot is typed
+// as `any` to keep this package free of engine imports (internal/bitmap
+// imports dataset, not the other way around).
+//
+// Lifecycle: the structure lives exactly as long as the dataset unless
+// Drop is called. The serving layer's registry calls Drop on LRU eviction
+// so cached-index memory stays bounded by the registry's row budget even
+// while completed jobs retain the dataset for result rendering.
+type Index struct {
+	mu     sync.Mutex
+	v      any
+	builds int64
+}
+
+// Index returns the dataset's acceleration-structure cache slot. The
+// returned handle is shared by every caller holding the same dataset.
+func (d *Dataset) Index() *Index { return &d.index }
+
+// LoadOrBuild returns the cached structure, invoking build exactly once
+// per empty slot. Concurrent first callers serialize on the handle's lock:
+// one builds, the rest wait and reuse — the "built once per dataset ever"
+// guarantee the build-count metrics assert. built reports whether this
+// call performed the build.
+func (ix *Index) LoadOrBuild(build func() any) (v any, built bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.v != nil {
+		return ix.v, false
+	}
+	ix.v = build()
+	ix.builds++
+	return ix.v, true
+}
+
+// Loaded reports whether a structure is currently cached.
+func (ix *Index) Loaded() bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.v != nil
+}
+
+// Drop releases the cached structure (the next LoadOrBuild rebuilds) and
+// reports whether anything was dropped.
+func (ix *Index) Drop() bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	dropped := ix.v != nil
+	ix.v = nil
+	return dropped
+}
+
+// Builds returns how many times LoadOrBuild constructed a structure over
+// the handle's lifetime (rebuilds after Drop included) — the reuse proof
+// the registry and the index-caching tests report.
+func (ix *Index) Builds() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.builds
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func indexTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	return NewBuilder("ix").
+		AddCategorical("c", []string{"a", "b", "a", "b"}).
+		SetGroups([]string{"g0", "g0", "g1", "g1"}).
+		MustBuild()
+}
+
+// TestIndexLoadOrBuildOnce: concurrent LoadOrBuild calls on one dataset run
+// the build function exactly once and all observe the same value.
+func TestIndexLoadOrBuildOnce(t *testing.T) {
+	d := indexTestDataset(t)
+	var calls atomic.Int64
+	sentinel := &struct{ tag string }{"index"}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	values := make([]any, goroutines)
+	built := make([]bool, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			values[i], built[i] = d.Index().LoadOrBuild(func() any {
+				calls.Add(1)
+				return sentinel
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", calls.Load())
+	}
+	builds := 0
+	for i := 0; i < goroutines; i++ {
+		if values[i] != any(sentinel) {
+			t.Fatalf("goroutine %d saw a different value", i)
+		}
+		if built[i] {
+			builds++
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("%d goroutines reported built=true, want 1", builds)
+	}
+	if got := d.Index().Builds(); got != 1 {
+		t.Fatalf("Builds() = %d, want 1", got)
+	}
+	if !d.Index().Loaded() {
+		t.Fatal("Loaded() = false after build")
+	}
+}
+
+// TestIndexDropRebuild: Drop clears the cached value; the next LoadOrBuild
+// rebuilds and the lifetime build counter records both builds.
+func TestIndexDropRebuild(t *testing.T) {
+	d := indexTestDataset(t)
+	ix := d.Index()
+	if ix.Loaded() {
+		t.Fatal("fresh dataset reports a loaded index")
+	}
+	if ix.Drop() {
+		t.Fatal("Drop on an empty slot reported true")
+	}
+
+	v1, built := ix.LoadOrBuild(func() any { return "first" })
+	if !built || v1 != "first" {
+		t.Fatalf("first LoadOrBuild = (%v, %v)", v1, built)
+	}
+	// A second call must reuse, not rebuild.
+	v2, built := ix.LoadOrBuild(func() any { return "second" })
+	if built || v2 != "first" {
+		t.Fatalf("second LoadOrBuild = (%v, %v), want cached first", v2, built)
+	}
+
+	if !ix.Drop() {
+		t.Fatal("Drop on a loaded slot reported false")
+	}
+	if ix.Loaded() {
+		t.Fatal("Loaded() = true after Drop")
+	}
+	v3, built := ix.LoadOrBuild(func() any { return "third" })
+	if !built || v3 != "third" {
+		t.Fatalf("post-drop LoadOrBuild = (%v, %v)", v3, built)
+	}
+	if got := ix.Builds(); got != 2 {
+		t.Fatalf("Builds() = %d after drop+rebuild, want 2", got)
+	}
+}
+
+// TestMaterializeFreshIndex: subset materialization must not inherit the
+// parent's cached index — the subset has different rows.
+func TestMaterializeFreshIndex(t *testing.T) {
+	d := indexTestDataset(t)
+	d.Index().LoadOrBuild(func() any { return "parent-index" })
+	sub := Materialize(d.Restrict([]int{0, 2}))
+	if sub.Index().Loaded() {
+		t.Fatal("materialized subset inherited the parent's index")
+	}
+}

@@ -157,10 +157,16 @@ type Recorder struct {
 	mergeOps      atomic.Int64
 
 	// Bitmap counting-engine counters (core.CountingBitmap path).
-	bitmapBuilds       atomic.Int64 // bitmaps constructed for the per-Mine index
+	bitmapBuilds       atomic.Int64 // bitmaps constructed for the dataset-cached index
+	bitmapIndexReuses  atomic.Int64 // Mine calls that reused an already-built index
 	bitmapAndOps       atomic.Int64 // cover ∧ value-bitmap intersections
 	bitmapPopcounts    atomic.Int64 // popcount passes (group counts, cover sizes)
 	bitmapMaterialized atomic.Int64 // lazy cover → row-slice materializations
+
+	// Cover-arena allocation discipline (one observation per Mine call).
+	arenaFresh    atomic.Int64 // covers allocated because the free list was empty
+	arenaReused   atomic.Int64 // covers recycled from the free list
+	arenaReleased atomic.Int64 // covers returned to the free list
 
 	// Top-k threshold dynamics.
 	thresholdUpdates atomic.Int64
@@ -300,12 +306,43 @@ func (r *Recorder) BitmapBuilds(n int) {
 	r.bitmapBuilds.Add(int64(n))
 }
 
+// BitmapIndexReuse counts one Mine call that found the dataset's index
+// already built and skipped construction entirely — the reuse signal the
+// index-caching tests assert against BitmapBuilds.
+func (r *Recorder) BitmapIndexReuse() {
+	if r == nil {
+		return
+	}
+	r.bitmapIndexReuses.Add(1)
+}
+
 // BitmapAnd counts one cover ∧ value-bitmap intersection.
 func (r *Recorder) BitmapAnd() {
 	if r == nil {
 		return
 	}
 	r.bitmapAndOps.Add(1)
+}
+
+// BitmapAnds counts n cover ∧ value-bitmap intersections at once (the
+// batched sibling kernel performs one fused AND per sibling code).
+func (r *Recorder) BitmapAnds(n int) {
+	if r == nil {
+		return
+	}
+	r.bitmapAndOps.Add(int64(n))
+}
+
+// ArenaObserve accumulates one Mine call's cover-arena counters: covers
+// freshly allocated, covers recycled from the free list, and covers
+// released back to it.
+func (r *Recorder) ArenaObserve(fresh, reused, released int64) {
+	if r == nil {
+		return
+	}
+	r.arenaFresh.Add(fresh)
+	r.arenaReused.Add(reused)
+	r.arenaReleased.Add(released)
 }
 
 // BitmapPopcounts counts n popcount passes (per-group support counts and
@@ -401,25 +438,29 @@ func (t TimerSnapshot) Mean() time.Duration {
 // Snapshot is a point-in-time copy of a Recorder, shaped for deterministic
 // JSON marshalling (fixed field order, no maps, index-ordered slices).
 type Snapshot struct {
-	UptimeNanos      int64             `json:"uptime_ns"`
-	Prune            []PruneCount      `json:"prune"`
-	Levels           []LevelSnapshot   `json:"levels"`
-	SDADCalls        int64             `json:"sdad_calls"`
-	Splits           int64             `json:"splits"`
-	BoxesExplored    int64             `json:"boxes_explored"`
-	MergeAttempts    int64             `json:"merge_attempts"`
-	MergeOps         int64             `json:"merge_ops"`
-	BitmapBuilds     int64             `json:"bitmap_builds"`
-	BitmapAndOps     int64             `json:"bitmap_and_ops"`
-	BitmapPopcounts  int64             `json:"bitmap_popcounts"`
-	BitmapLazyRows   int64             `json:"bitmap_lazy_rows"`
-	ThresholdUpdates int64             `json:"threshold_updates"`
-	Threshold        float64           `json:"threshold"`
-	NodeEval         HistogramSnapshot `json:"node_eval"`
-	Remine           TimerSnapshot     `json:"remine"`
-	TraceEvents      uint64            `json:"trace_events"`
-	TraceDropped     uint64            `json:"trace_dropped"`
-	TraceHighWater   int64             `json:"trace_high_water"`
+	UptimeNanos       int64             `json:"uptime_ns"`
+	Prune             []PruneCount      `json:"prune"`
+	Levels            []LevelSnapshot   `json:"levels"`
+	SDADCalls         int64             `json:"sdad_calls"`
+	Splits            int64             `json:"splits"`
+	BoxesExplored     int64             `json:"boxes_explored"`
+	MergeAttempts     int64             `json:"merge_attempts"`
+	MergeOps          int64             `json:"merge_ops"`
+	BitmapBuilds      int64             `json:"bitmap_builds"`
+	BitmapIndexReuses int64             `json:"bitmap_index_reuses"`
+	BitmapAndOps      int64             `json:"bitmap_and_ops"`
+	BitmapPopcounts   int64             `json:"bitmap_popcounts"`
+	BitmapLazyRows    int64             `json:"bitmap_lazy_rows"`
+	ArenaFresh        int64             `json:"arena_fresh"`
+	ArenaReused       int64             `json:"arena_reused"`
+	ArenaReleased     int64             `json:"arena_released"`
+	ThresholdUpdates  int64             `json:"threshold_updates"`
+	Threshold         float64           `json:"threshold"`
+	NodeEval          HistogramSnapshot `json:"node_eval"`
+	Remine            TimerSnapshot     `json:"remine"`
+	TraceEvents       uint64            `json:"trace_events"`
+	TraceDropped      uint64            `json:"trace_dropped"`
+	TraceHighWater    int64             `json:"trace_high_water"`
 }
 
 // PruneHits returns the hit count of a rule in the snapshot (0 when the
@@ -450,22 +491,26 @@ func (r *Recorder) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	s := Snapshot{
-		SDADCalls:        r.sdadCalls.Load(),
-		Splits:           r.splits.Load(),
-		BoxesExplored:    r.boxes.Load(),
-		MergeAttempts:    r.mergeAttempts.Load(),
-		MergeOps:         r.mergeOps.Load(),
-		BitmapBuilds:     r.bitmapBuilds.Load(),
-		BitmapAndOps:     r.bitmapAndOps.Load(),
-		BitmapPopcounts:  r.bitmapPopcounts.Load(),
-		BitmapLazyRows:   r.bitmapMaterialized.Load(),
-		ThresholdUpdates: r.thresholdUpdates.Load(),
-		Threshold:        math.Float64frombits(r.thresholdBits.Load()),
-		NodeEval:         r.nodeEval.Snapshot(),
-		Remine:           r.remine.snapshot(),
-		TraceEvents:      r.traceEmitted.Load(),
-		TraceDropped:     r.traceDropped.Load(),
-		TraceHighWater:   r.traceHighWater.Load(),
+		SDADCalls:         r.sdadCalls.Load(),
+		Splits:            r.splits.Load(),
+		BoxesExplored:     r.boxes.Load(),
+		MergeAttempts:     r.mergeAttempts.Load(),
+		MergeOps:          r.mergeOps.Load(),
+		BitmapBuilds:      r.bitmapBuilds.Load(),
+		BitmapIndexReuses: r.bitmapIndexReuses.Load(),
+		BitmapAndOps:      r.bitmapAndOps.Load(),
+		BitmapPopcounts:   r.bitmapPopcounts.Load(),
+		BitmapLazyRows:    r.bitmapMaterialized.Load(),
+		ArenaFresh:        r.arenaFresh.Load(),
+		ArenaReused:       r.arenaReused.Load(),
+		ArenaReleased:     r.arenaReleased.Load(),
+		ThresholdUpdates:  r.thresholdUpdates.Load(),
+		Threshold:         math.Float64frombits(r.thresholdBits.Load()),
+		NodeEval:          r.nodeEval.Snapshot(),
+		Remine:            r.remine.snapshot(),
+		TraceEvents:       r.traceEmitted.Load(),
+		TraceDropped:      r.traceDropped.Load(),
+		TraceHighWater:    r.traceHighWater.Load(),
 	}
 	if !r.start.IsZero() {
 		s.UptimeNanos = int64(time.Since(r.start))

@@ -49,10 +49,12 @@ type dsEntry struct {
 }
 
 // Registry holds parsed datasets, content-hash addressed and LRU-bounded
-// by a total row budget. Reads are concurrent-safe; the per-(attr,value)
-// bitmap index is built lazily by the first Mine against the dataset and
-// cached inside the miner per call — what the registry amortizes is CSV
-// parsing, column building and domain coding, which dominate registration.
+// by a total row budget. Reads are concurrent-safe. Because datasets carry
+// their bitmap index in a content-hash-keyed cache slot (dataset.Index),
+// the registry also amortizes index construction: the first Mine against a
+// dataset builds the index once, and every later job on the same content
+// hash reuses it. Eviction drops the cached index along with the dataset
+// so the row budget actually bounds memory.
 type Registry struct {
 	mu        sync.Mutex
 	budget    int // max total rows across entries; 0 = unbounded
@@ -60,6 +62,11 @@ type Registry struct {
 	entries   map[string]*dsEntry
 	order     *list.List // front = most recently used
 	evictions int64
+	// indexEvictions counts evicted entries that held a built bitmap
+	// index; indexBuildsEvicted accumulates their lifetime build counts so
+	// IndexStats can report total builds across live and evicted entries.
+	indexEvictions     int64
+	indexBuildsEvicted int64
 }
 
 // NewRegistry builds a registry evicting least-recently-used datasets once
@@ -169,6 +176,13 @@ func (r *Registry) evictLocked(keep string) {
 		delete(r.entries, victim.info.ID)
 		r.totalRows -= victim.info.Rows
 		r.evictions++
+		// Drop the attached bitmap index with the dataset: completed jobs
+		// may still reference the *Dataset for explain rendering, so the
+		// index is the part of the memory we can reclaim deterministically.
+		if victim.ds.Index().Drop() {
+			r.indexEvictions++
+			r.indexBuildsEvicted += victim.ds.Index().Builds()
+		}
 	}
 }
 
@@ -223,4 +237,24 @@ func (r *Registry) Stats() (entries, totalRows int, evictions int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.entries), r.totalRows, r.evictions
+}
+
+// IndexStats reports the cached-index lifecycle across the registry:
+// cached is the number of live entries currently holding a built bitmap
+// index, builds is the lifetime index-build count over live AND evicted
+// entries (builds == number of distinct dataset hashes indexed, as long as
+// nothing was evicted and re-registered), and evictions counts indexes
+// dropped by LRU eviction.
+func (r *Registry) IndexStats() (cached int, builds, evictions int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	builds = r.indexBuildsEvicted
+	for _, e := range r.entries {
+		ix := e.ds.Index()
+		if ix.Loaded() {
+			cached++
+		}
+		builds += ix.Builds()
+	}
+	return cached, builds, r.indexEvictions
 }

@@ -74,6 +74,14 @@ type ServerMetrics struct {
 	JobsFailed         int64 `json:"jobs_failed"`
 	JobsCanceled       int64 `json:"jobs_canceled"`
 	JobsRunning        int64 `json:"jobs_running"`
+	// IndexBuilds counts bitmap-index constructions across all datasets
+	// ever registered (live and evicted); IndexCached is how many live
+	// datasets currently hold a built index; IndexEvictions counts indexes
+	// dropped by registry LRU eviction. Builds staying at one per dataset
+	// hash while jobs repeat is the cached-index reuse guarantee.
+	IndexBuilds        int64 `json:"index_builds"`
+	IndexCached        int   `json:"index_cached"`
+	IndexEvictions     int64 `json:"index_evictions"`
 	QueueDepth         int   `json:"queue_depth"`
 	QueueCapacity      int   `json:"queue_capacity"`
 	MineExecutions     int64 `json:"mine_executions"`
@@ -126,11 +134,15 @@ func (s *Server) Close(grace time.Duration) { s.mgr.Close(grace) }
 // snapshots of running jobs.
 func (s *Server) Metrics() ServerMetrics {
 	entries, rows, evictions := s.reg.Stats()
+	ixCached, ixBuilds, ixEvictions := s.reg.IndexStats()
 	m := ServerMetrics{
 		UptimeNanos:        int64(time.Since(s.start)),
 		DatasetsRegistered: entries,
 		DatasetRows:        rows,
 		DatasetEvictions:   evictions,
+		IndexBuilds:        ixBuilds,
+		IndexCached:        ixCached,
+		IndexEvictions:     ixEvictions,
 		JobsSubmitted:      s.counters.jobsSubmitted.Load(),
 		JobsDone:           s.counters.jobsDone.Load(),
 		JobsFailed:         s.counters.jobsFailed.Load(),

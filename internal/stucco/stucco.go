@@ -99,7 +99,9 @@ func Mine(d *dataset.Dataset, cfg Config) Result {
 	list := topk.New(cfg.TopK, floor)
 	schedule := stats.NewBonferroniSchedule(cfg.Alpha)
 	res := Result{}
-	idx := bitmap.NewIndex(d)
+	// Ride the dataset-cached index: a STUCCO baseline run over a dataset
+	// the levelwise miner already indexed (or vice versa) pays no rebuild.
+	idx, _ := bitmap.Shared(d)
 
 	// Level 1 candidates: every (attribute, value) item.
 	frontier := expand(idx, d, []node{{set: pattern.NewItemset(), cover: idx.All(), lastAttr: -1}}, attrs)
