@@ -1,6 +1,7 @@
-// Command bench is the performance-trajectory harness: it runs four
-// fixed-seed workloads — categorical-heavy, mixed, wide-continuous, and
-// serve-throughput — under both the slice and bitmap counting engines and
+// Command bench is the performance-trajectory harness: it runs five
+// fixed-seed workloads — categorical-heavy, mixed, wide-continuous,
+// stucco-bitmap, and serve-throughput — under both the slice and bitmap
+// counting engines and
 // writes a schema'd BENCH_<rev>.json snapshot. CI runs it on every PR and
 // gates the result against the committed main baseline, so the repo
 // carries a recorded performance trajectory instead of anecdotes.
@@ -29,8 +30,10 @@ import (
 	"sdadcs/internal/core"
 	"sdadcs/internal/datagen"
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/engine"
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/serve"
+	"sdadcs/internal/stucco"
 )
 
 // Schema identifies the BENCH_*.json layout; bump on breaking changes.
@@ -151,6 +154,7 @@ func collect(rev string, runs int, quick bool, stdout io.Writer) (*Report, error
 		{"categorical-heavy", benchCategorical},
 		{"mixed", benchMixed},
 		{"wide-continuous", benchWideContinuous},
+		{"stucco-bitmap", benchSTUCCO},
 		{"serve-throughput", benchServe},
 	} {
 		start := time.Now()
@@ -253,6 +257,53 @@ func benchWideContinuous(runs int, quick bool) (Workload, error) {
 	return mineWorkload(datagen.Planted(spec), core.Config{MaxDepth: depth, Workers: 1}, runs)
 }
 
+// benchSTUCCO: the manufacturing generator under the ported STUCCO miner —
+// the categorical levelwise search riding the shared bitmap index versus
+// its slice-counting twin. This is the workload the unified engine
+// interface added: baselines share the production counting kernels, so
+// their slice-vs-bitmap ratio is tracked the same way as SDAD-CS's.
+func benchSTUCCO(runs int, quick bool) (Workload, error) {
+	cfg := datagen.ManufacturingConfig{Seed: 104, Population: 6000, Failed: 1500, Features: 14}
+	depth := 3
+	if quick {
+		cfg.Population, cfg.Failed, cfg.Features, depth = 1500, 400, 10, 2
+	}
+	d := datagen.Manufacturing(cfg)
+	w := Workload{Rows: d.Rows(), Attrs: d.NumAttrs()}
+
+	sliceCfg := stucco.Config{MaxDepth: depth, Workers: 1, SliceCounting: true}
+	bitmapCfg := stucco.Config{MaxDepth: depth, Workers: 1}
+
+	var sliceBest, bitmapBest, bitmapSum int64
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		stucco.Mine(d, sliceCfg)
+		if ns := int64(time.Since(start)); sliceBest == 0 || ns < sliceBest {
+			sliceBest = ns
+		}
+	}
+	d.Index().Drop()
+	buildsBefore := d.Index().Builds()
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		res := stucco.Mine(d, bitmapCfg)
+		ns := int64(time.Since(start))
+		bitmapSum += ns
+		if bitmapBest == 0 || ns < bitmapBest {
+			bitmapBest = ns
+		}
+		w.Contrasts = len(res.Contrasts)
+	}
+	w.IndexBuilds = d.Index().Builds() - buildsBefore
+	w.WallNsBest = bitmapBest
+	w.WallNsMean = bitmapSum / int64(runs)
+	w.SliceWallNsBest = sliceBest
+	if bitmapBest > 0 {
+		w.SpeedupVsSlice = float64(sliceBest) / float64(bitmapBest)
+	}
+	return w, nil
+}
+
 // benchServe drives the mining service end to end: J jobs over one
 // registered dataset with distinct top_k values (top_k is part of the
 // result-cache key, so every job re-mines), first under the slice engine,
@@ -346,7 +397,7 @@ func servePhase(d *dataset.Dataset, jobs, depth int, counting core.CountingMode)
 	subs := make([]pending, 0, jobs)
 	phaseStart := time.Now()
 	for i := 0; i < jobs; i++ {
-		cfg := core.Config{MaxDepth: depth, TopK: 20 + i, Counting: counting}
+		cfg := engine.Config{MaxDepth: depth, TopK: 20 + i, Counting: counting}
 		j, err := s.Manager().Submit(info.ID, cfg, time.Minute)
 		if err != nil {
 			return 0, nil, 0, err

@@ -36,7 +36,7 @@ var quickReport = func() func(t *testing.T) (*Report, string) {
 }()
 
 // TestQuickRunProducesAllWorkloads: one -quick run emits a schema'd report
-// with all four workloads, positive timings, and the serve workload's
+// with all five workloads, positive timings, and the serve workload's
 // one-build index guarantee.
 func TestQuickRunProducesAllWorkloads(t *testing.T) {
 	rep, _ := quickReport(t)
@@ -46,7 +46,7 @@ func TestQuickRunProducesAllWorkloads(t *testing.T) {
 	if rep.Revision != "test" || rep.Go == "" || rep.CPUs <= 0 {
 		t.Fatalf("environment header incomplete: %+v", rep)
 	}
-	want := []string{"categorical-heavy", "mixed", "wide-continuous", "serve-throughput"}
+	want := []string{"categorical-heavy", "mixed", "wide-continuous", "stucco-bitmap", "serve-throughput"}
 	if len(rep.Workloads) != len(want) {
 		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(want))
 	}
@@ -67,14 +67,14 @@ func TestQuickRunProducesAllWorkloads(t *testing.T) {
 			t.Errorf("%s: missing dataset shape", w.Name)
 		}
 	}
-	serve := rep.Workloads[3]
+	serve := rep.Workloads[4]
 	if serve.IndexBuilds != 1 {
 		t.Errorf("serve-throughput index_builds = %d, want 1", serve.IndexBuilds)
 	}
 	if serve.Jobs == 0 || serve.RPS <= 0 || serve.P50Ns <= 0 || serve.P99Ns < serve.P50Ns {
 		t.Errorf("serve-throughput stats incomplete: %+v", serve)
 	}
-	for _, w := range rep.Workloads[:3] {
+	for _, w := range rep.Workloads[:4] {
 		if w.IndexBuilds != 1 {
 			t.Errorf("%s: index_builds = %d, want 1 (dropped before each run)", w.Name, w.IndexBuilds)
 		}

@@ -1,8 +1,9 @@
-// Command contrast mines contrast patterns from a CSV file with SDAD-CS.
+// Command contrast mines contrast patterns from a CSV file with SDAD-CS
+// or one of the baseline algorithms.
 //
 // Usage:
 //
-//	contrast -input data.csv -group label [flags]
+//	contrast -input data.csv -group label [-algorithm sdadcs] [flags]
 //
 // The group column is required; every other column becomes an attribute
 // (numeric columns are continuous, everything else categorical). Output is
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,21 +33,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("contrast", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		input    = fs.String("input", "", "input CSV file (required)")
-		group    = fs.String("group", "", "name of the group column (required)")
-		alpha    = fs.Float64("alpha", 0.05, "initial significance level")
-		delta    = fs.Float64("delta", 0.1, "minimum support difference")
-		depth    = fs.Int("depth", 5, "maximum attributes per pattern")
-		topk     = fs.Int("topk", 100, "number of patterns to report")
-		measure  = fs.String("measure", "surprising", "interest measure: diff | pr | surprising")
-		np       = fs.Bool("np", false, "disable meaningfulness pruning and filtering (SDAD-CS NP)")
-		workers  = fs.Int("workers", 1, "parallel workers for per-level mining")
-		forceCat = fs.String("categorical", "", "comma-separated columns to force categorical")
-		format   = fs.String("format", "text", "output format: text | markdown | csv | json")
-		metricsF = fs.Bool("metrics", false, "collect pipeline metrics and dump a JSON snapshot to stderr")
-		traceF   = fs.String("trace", "", "record the decision trace and write it to FILE as JSON Lines")
-		traceC   = fs.String("trace-chrome", "", "record the decision trace and write it to FILE in Chrome trace-event format (load in Perfetto or chrome://tracing)")
-		explainF = fs.String("explain", "", "explain one pattern's provenance instead of printing the report: comma-separated conditions, col=value (categorical) or col=lo..hi (continuous; inf/-inf allowed)")
+		input     = fs.String("input", "", "input CSV file (required)")
+		group     = fs.String("group", "", "name of the group column (required)")
+		algorithm = fs.String("algorithm", "sdadcs", "mining algorithm: "+strings.Join(sdadcs.Algorithms(), " | "))
+		alpha     = fs.Float64("alpha", 0.05, "initial significance level")
+		delta     = fs.Float64("delta", 0.1, "minimum support difference")
+		depth     = fs.Int("depth", 5, "maximum attributes per pattern")
+		topk      = fs.Int("topk", 100, "number of patterns to report")
+		measure   = fs.String("measure", "surprising", "interest measure: "+strings.Join(sdadcs.MeasureNames(), " | "))
+		np        = fs.Bool("np", false, "disable meaningfulness pruning and filtering (SDAD-CS NP)")
+		workers   = fs.Int("workers", 1, "parallel workers for per-level mining")
+		forceCat  = fs.String("categorical", "", "comma-separated columns to force categorical")
+		format    = fs.String("format", "text", "output format: text | markdown | csv | json")
+		metricsF  = fs.Bool("metrics", false, "collect pipeline metrics and dump a JSON snapshot to stderr")
+		traceF    = fs.String("trace", "", "record the decision trace and write it to FILE as JSON Lines")
+		traceC    = fs.String("trace-chrome", "", "record the decision trace and write it to FILE in Chrome trace-event format (load in Perfetto or chrome://tracing)")
+		explainF  = fs.String("explain", "", "explain one pattern's provenance instead of printing the report: comma-separated conditions, col=value (categorical) or col=lo..hi (continuous; inf/-inf allowed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,9 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 		return 2
 	}
-	m, err := parseMeasure(*measure)
-	if err != nil {
-		fmt.Fprintln(stderr, "contrast:", err)
+	m, ok := sdadcs.MeasureByName(*measure)
+	if !ok {
+		fmt.Fprintf(stderr, "contrast: unknown measure %q (want one of %s)\n",
+			*measure, strings.Join(sdadcs.MeasureNames(), ", "))
 		return 2
 	}
 
@@ -82,16 +86,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	cfg := sdadcs.Config{
-		Alpha:    *alpha,
-		Delta:    *delta,
-		MaxDepth: *depth,
-		TopK:     *topk,
-		Workers:  *workers,
-		Measure:  m,
-	}
-	if *np {
-		cfg = cfg.NP()
+	cfg := sdadcs.MinerConfig{
+		Algorithm: *algorithm,
+		Alpha:     *alpha,
+		Delta:     *delta,
+		MaxDepth:  *depth,
+		TopK:      *topk,
+		Workers:   *workers,
+		Measure:   m,
+		NP:        *np,
 	}
 	var rec *sdadcs.MetricsRecorder
 	if *metricsF {
@@ -102,7 +105,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// -explain needs the decision record even when no export was asked.
 		cfg.Trace = sdadcs.NewTracer(0)
 	}
-	res := sdadcs.Mine(d, cfg)
+	res, err := sdadcs.MineWith(context.Background(), d, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "contrast:", err)
+		return 2
+	}
+	// Globally-discretizing algorithms (mvd, entropy) emit contrasts whose
+	// items refer to the binned view; render and explain against it.
+	if res.Binned != nil {
+		d = res.Binned
+	}
 	if rec != nil {
 		// Stderr keeps the report stream on stdout machine-readable.
 		if err := sdadcs.WriteMetrics(stderr, rec); err != nil {
@@ -221,17 +233,4 @@ func parseBound(s string) (float64, error) {
 		return math.Inf(1), nil
 	}
 	return strconv.ParseFloat(strings.TrimSpace(s), 64)
-}
-
-func parseMeasure(s string) (sdadcs.Measure, error) {
-	switch s {
-	case "diff":
-		return sdadcs.SupportDiff, nil
-	case "pr":
-		return sdadcs.PurityRatio, nil
-	case "surprising":
-		return sdadcs.SurprisingMeasure, nil
-	default:
-		return 0, fmt.Errorf("unknown measure %q (want diff, pr or surprising)", s)
-	}
 }

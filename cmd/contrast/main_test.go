@@ -47,12 +47,33 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunNPAndMeasures(t *testing.T) {
 	path := writeCSV(t)
-	for _, m := range []string{"diff", "pr", "surprising"} {
+	for _, m := range []string{"diff", "pr", "surprising", "wracc", "growth", "contrast-rules"} {
 		var out, errBuf bytes.Buffer
 		code := run([]string{"-input", path, "-group", "label", "-measure", m, "-np"}, &out, &errBuf)
 		if code != 0 {
 			t.Errorf("measure %s: exit %d (%s)", m, code, errBuf.String())
 		}
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	path := writeCSV(t)
+	for _, alg := range sdadcs.Algorithms() {
+		var out, errBuf bytes.Buffer
+		code := run([]string{"-input", path, "-group", "label", "-algorithm", alg}, &out, &errBuf)
+		if code != 0 {
+			t.Errorf("algorithm %s: exit %d (%s)", alg, code, errBuf.String())
+		}
+		if !strings.Contains(out.String(), "200 rows") {
+			t.Errorf("algorithm %s: missing dataset line: %s", alg, out.String())
+		}
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "label", "-algorithm", "apriori"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad algorithm: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "Algorithm") {
+		t.Errorf("bad algorithm error should name the field: %s", errBuf.String())
 	}
 }
 

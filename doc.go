@@ -23,8 +23,10 @@
 //		fmt.Println(c.Format(d))
 //	}
 //
-// Baselines from the paper's evaluation — Bay's MVD, Fayyad–Irani entropy
-// (MDLP) discretization, STUCCO categorical mining and Cortana-style
-// subgroup discovery — are exposed via MineMVD, MineEntropy, MineSTUCCO
-// and MineSubgroups for comparison studies.
+// Every algorithm — the SDAD-CS search and the paper's baselines (Bay's
+// MVD and Fayyad–Irani entropy discretization, STUCCO categorical mining,
+// Cortana-style subgroup discovery) — is also available behind the unified
+// engine API: MineWith dispatches on MinerConfig.Algorithm, and
+// Algorithms lists the registered names. MineSTUCCO and MineSubgroups
+// remain as direct entry points for comparison studies.
 package sdadcs

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"sdadcs"
@@ -61,11 +62,14 @@ func main() {
 	show("Subgroup discovery (Cortana-style)",
 		sdadcs.MineSubgroups(d, sdadcs.SubgroupConfig{Depth: 2}), d, 6)
 
-	// Global pre-binning baselines: entropy (MDLP) and MVD.
-	ecs, ebinned := sdadcs.MineEntropy(d, sdadcs.STUCCOConfig{MaxDepth: 2})
-	show("Fayyad-Irani entropy binning", ecs, ebinned, 6)
-	mcs, mbinned := sdadcs.MineMVD(d, sdadcs.MVDConfig{}, sdadcs.STUCCOConfig{MaxDepth: 2})
-	show("MVD binning", mcs, mbinned, 6)
+	// Global pre-binning baselines: entropy (MDLP) and MVD, via the
+	// unified engine API.
+	eres, _ := sdadcs.MineWith(context.Background(), d,
+		sdadcs.MinerConfig{Algorithm: "entropy", MaxDepth: 2})
+	show("Fayyad-Irani entropy binning", eres.Contrasts, eres.Binned, 6)
+	mres, _ := sdadcs.MineWith(context.Background(), d,
+		sdadcs.MinerConfig{Algorithm: "mvd", MaxDepth: 2})
+	show("MVD binning", mres.Contrasts, mres.Binned, 6)
 
 	fmt.Println("Note how the global binners fix one boundary per attribute for the")
 	fmt.Println("whole dataset, while SDAD-CS re-bins age and hours jointly and finds")

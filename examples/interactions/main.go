@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"sdadcs"
@@ -21,8 +22,9 @@ func main() {
 
 	// Univariate view: the entropy discretizer (group as class) finds no
 	// cut point on either attribute.
-	ecs, _ := sdadcs.MineEntropy(d, sdadcs.STUCCOConfig{})
-	fmt.Printf("entropy (univariate) contrasts: %d\n", len(ecs))
+	eres, _ := sdadcs.MineWith(context.Background(), d,
+		sdadcs.MinerConfig{Algorithm: "entropy"})
+	fmt.Printf("entropy (univariate) contrasts: %d\n", len(eres.Contrasts))
 
 	// SDAD-CS: joint median splits expose the quadrant structure.
 	res := sdadcs.Mine(d, sdadcs.Config{Measure: sdadcs.SurprisingMeasure})

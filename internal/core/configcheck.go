@@ -62,7 +62,7 @@ func (c *Config) Validate() error {
 	if c.Workers < 0 {
 		bad("Workers", c.Workers, "worker count must be >= 1; 0 selects the default 1")
 	}
-	if c.Measure < pattern.SupportDiff || c.Measure > pattern.WRAccMeasure {
+	if c.Measure < pattern.SupportDiff || c.Measure > pattern.MaxMeasure {
 		bad("Measure", int(c.Measure), "unknown interest measure")
 	}
 	if c.OEMode != OEModePaper && c.OEMode != OEModeConservative {

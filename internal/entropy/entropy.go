@@ -16,8 +16,6 @@ import (
 	"sort"
 
 	"sdadcs/internal/dataset"
-	"sdadcs/internal/pattern"
-	"sdadcs/internal/stucco"
 )
 
 // Discretize returns the MDLP cut points (ascending) for one attribute:
@@ -156,23 +154,4 @@ func DiscretizeDataset(d *dataset.Dataset) map[int][]float64 {
 		cuts[attr] = Discretize(d.ContColumn(attr), classes, d.NumGroups())
 	}
 	return cuts
-}
-
-// Result is a mining outcome plus the discretization it used.
-type Result struct {
-	Contrasts []pattern.Contrast
-	Cuts      map[int][]float64
-	// Binned is the discretized dataset the contrasts' items refer to.
-	Binned *dataset.Dataset
-	// Candidates counts itemsets tested by the downstream search.
-	Candidates int
-}
-
-// Mine discretizes every continuous attribute with MDLP and runs the
-// shared categorical contrast search over the binned dataset.
-func Mine(d *dataset.Dataset, cfg stucco.Config) Result {
-	cuts := DiscretizeDataset(d)
-	binned := dataset.Discretized(d, cuts)
-	res := stucco.Mine(binned, cfg)
-	return Result{Contrasts: res.Contrasts, Cuts: cuts, Binned: binned, Candidates: res.Candidates}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sdadcs/internal/datagen"
+	"sdadcs/internal/dataset"
 	"sdadcs/internal/stucco"
 )
 
@@ -104,7 +105,7 @@ func TestDiscretizeDatasetAndMine(t *testing.T) {
 		t.Errorf("cuts on Attribute1 = %v, want one near 0.5", cuts[a1])
 	}
 
-	res := Mine(d, stucco.Config{})
+	res := stucco.Mine(dataset.Discretized(d, cuts), stucco.Config{})
 	if len(res.Contrasts) == 0 {
 		t.Fatal("entropy baseline found no contrasts on separable data")
 	}

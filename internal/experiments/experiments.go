@@ -14,10 +14,8 @@ import (
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
-	"sdadcs/internal/entropy"
-	"sdadcs/internal/mvd"
+	"sdadcs/internal/engine"
 	"sdadcs/internal/pattern"
-	"sdadcs/internal/stucco"
 	"sdadcs/internal/subgroup"
 )
 
@@ -165,32 +163,34 @@ func runSDADNP(d *dataset.Dataset, measure pattern.Measure, opts Options) Algori
 // runMVD runs Bay's discretizer plus the shared categorical search.
 func runMVD(d *dataset.Dataset, opts Options) AlgorithmRun {
 	start := time.Now()
-	res := mvd.Mine(d, mvd.Config{}, stucco.Config{
-		MaxDepth: opts.Depth,
-		TopK:     opts.TopK,
+	res, _ := engine.Mine(d, engine.Config{
+		Algorithm: "mvd",
+		MaxDepth:  opts.Depth,
+		TopK:      opts.TopK,
 	})
 	return AlgorithmRun{
 		Name:       "MVD",
 		Contrasts:  res.Contrasts,
 		Data:       res.Binned,
 		Elapsed:    time.Since(start),
-		Partitions: res.PairsEvaluated + res.Candidates,
+		Partitions: res.Stats.PartitionsEvaluated,
 	}
 }
 
 // runEntropy runs the Fayyad–Irani baseline.
 func runEntropy(d *dataset.Dataset, opts Options) AlgorithmRun {
 	start := time.Now()
-	res := entropy.Mine(d, stucco.Config{
-		MaxDepth: opts.Depth,
-		TopK:     opts.TopK,
+	res, _ := engine.Mine(d, engine.Config{
+		Algorithm: "entropy",
+		MaxDepth:  opts.Depth,
+		TopK:      opts.TopK,
 	})
 	return AlgorithmRun{
 		Name:       "Entropy",
 		Contrasts:  res.Contrasts,
 		Data:       res.Binned,
 		Elapsed:    time.Since(start),
-		Partitions: res.Candidates,
+		Partitions: res.Stats.PartitionsEvaluated,
 	}
 }
 

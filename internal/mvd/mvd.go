@@ -12,9 +12,7 @@ import (
 	"sort"
 
 	"sdadcs/internal/dataset"
-	"sdadcs/internal/pattern"
 	"sdadcs/internal/stats"
-	"sdadcs/internal/stucco"
 )
 
 // Config controls the discretization.
@@ -267,30 +265,4 @@ func contextTest(ctx func(row int) int, cardinality int, rows1, rows2 []int) (fl
 		return 1, false
 	}
 	return res.P, true
-}
-
-// MineResult couples the contrasts with discretization statistics.
-type MineResult struct {
-	Contrasts []pattern.Contrast
-	Cuts      map[int][]float64
-	// Binned is the discretized dataset the contrasts' items refer to.
-	Binned         *dataset.Dataset
-	PairsEvaluated int
-	// Candidates counts itemsets tested by the downstream search.
-	Candidates int
-}
-
-// Mine discretizes with MVD and runs the shared categorical contrast
-// search over the binned dataset.
-func Mine(d *dataset.Dataset, cfg Config, sCfg stucco.Config) MineResult {
-	disc := DiscretizeDataset(d, cfg)
-	binned := dataset.Discretized(d, disc.Cuts)
-	res := stucco.Mine(binned, sCfg)
-	return MineResult{
-		Contrasts:      res.Contrasts,
-		Cuts:           disc.Cuts,
-		Binned:         binned,
-		PairsEvaluated: disc.PairsEvaluated,
-		Candidates:     res.Candidates,
-	}
 }

@@ -55,7 +55,8 @@ func TestDiscretizeDetectsMultivariateBoundary(t *testing.T) {
 
 func TestMineFindsContrasts(t *testing.T) {
 	d := datagen.Simulated1(3, 2000)
-	res := Mine(d, Config{}, stucco.Config{})
+	disc := DiscretizeDataset(d, Config{})
+	res := stucco.Mine(dataset.Discretized(d, disc.Cuts), stucco.Config{})
 	if len(res.Contrasts) == 0 {
 		t.Fatal("MVD baseline found no contrasts on separable data")
 	}
@@ -66,7 +67,7 @@ func TestMineFindsContrasts(t *testing.T) {
 	if res.Contrasts[0].Score < 0.1 || res.Contrasts[0].Score > 0.9 {
 		t.Errorf("top score = %v, want a modest fragment contrast", res.Contrasts[0].Score)
 	}
-	if res.Candidates == 0 || res.PairsEvaluated == 0 {
+	if res.Candidates == 0 || disc.PairsEvaluated == 0 {
 		t.Error("work counters not wired up")
 	}
 }

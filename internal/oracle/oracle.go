@@ -242,9 +242,60 @@ func (m *refMiner) scoreOf(sup pattern.Supports) float64 {
 		return prRef(sup)
 	case pattern.SurprisingMeasure:
 		return prRef(sup) * maxDiffRef(sup) // Eq. 13: SM = PR × Diff
+	case pattern.GrowthRateMeasure:
+		return growthRateRef(sup)
+	case pattern.ContrastRuleMeasure:
+		return confSpreadRef(sup)
 	default:
 		return m.cfg.Measure.Eval(sup)
 	}
+}
+
+// growthRateRef transliterates the squashed emerging-pattern growth rate:
+// GR = max(supp)/min(supp), score = GR/(GR+1), with 0 for uncovered
+// patterns and 1 for jumping emerging patterns (min supp = 0).
+func growthRateRef(sup pattern.Supports) float64 {
+	lo, hi := sup.Supp(0), sup.Supp(0)
+	for g := 1; g < sup.Groups(); g++ {
+		v := sup.Supp(g)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	if lo == 0 {
+		return 1
+	}
+	gr := hi / lo
+	return gr / (gr + 1)
+}
+
+// confSpreadRef transliterates the SCR-style contrasting-rules score: the
+// spread of conf_g = Count[g]/TotalCount over groups, 0 when uncovered.
+func confSpreadRef(sup pattern.Supports) float64 {
+	covered := 0
+	for _, c := range sup.Count {
+		covered += c
+	}
+	if covered == 0 {
+		return 0
+	}
+	lo, hi := 0.0, 0.0
+	for g := range sup.Count {
+		conf := float64(sup.Count[g]) / float64(covered)
+		if g == 0 || conf < lo {
+			lo = conf
+		}
+		if g == 0 || conf > hi {
+			hi = conf
+		}
+	}
+	return hi - lo
 }
 
 // maxDiffRef is Eq. 2 maximized over ordered group pairs:

@@ -105,6 +105,57 @@ func (s Supports) WRAcc(g int) float64 {
 	return coverRate * (conf - prior)
 }
 
+// GrowthRate returns the emerging-pattern growth rate of Dong & Li —
+// max(supp)/min(supp) over the groups — squashed to [0,1] as GR/(GR+1) so
+// the score stays finite and heap-orderable: a jumping emerging pattern
+// (min supp = 0, max supp > 0) scores exactly 1, equal supports score 1/2,
+// and a pattern covered by no group scores 0. The squash x ↦ x/(x+1) is
+// strictly monotone, so ranking by the squashed score ranks by the raw
+// growth rate.
+func (s Supports) GrowthRate() float64 {
+	lo, hi := s.Supp(0), s.Supp(0)
+	for g := 1; g < s.Groups(); g++ {
+		v := s.Supp(g)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	if lo == 0 {
+		return 1 // jumping emerging pattern: infinite growth rate
+	}
+	gr := hi / lo
+	return gr / (gr + 1)
+}
+
+// ConfidenceSpread returns the SCR-style contrasting-rules score: the
+// spread max_g conf_g − min_g conf_g of the rule confidences
+// conf_g = P(group g | pattern) = Count[g]/TotalCount. A pattern whose
+// coverage splits evenly across groups scores near 0; one owned entirely
+// by a single group scores 1. When nothing is covered the spread is 0.
+func (s Supports) ConfidenceSpread() float64 {
+	covered := s.TotalCount()
+	if covered == 0 {
+		return 0
+	}
+	lo, hi := 0.0, 0.0
+	for g := range s.Count {
+		conf := float64(s.Count[g]) / float64(covered)
+		if g == 0 || conf < lo {
+			lo = conf
+		}
+		if g == 0 || conf > hi {
+			hi = conf
+		}
+	}
+	return hi - lo
+}
+
 // TotalCount returns the pattern's row count summed over groups.
 func (s Supports) TotalCount() int {
 	n := 0
@@ -139,7 +190,19 @@ const (
 	// WRAccMeasure scores by the best per-group WRACC (used by the
 	// subgroup discovery baseline).
 	WRAccMeasure
+	// GrowthRateMeasure scores by the squashed emerging-pattern growth
+	// rate GR/(GR+1) (Dong & Li 1999; the Chen et al. survey's family).
+	GrowthRateMeasure
+	// ContrastRuleMeasure scores by the SCR-style contrasting-rules
+	// confidence spread max_g conf_g − min_g conf_g.
+	ContrastRuleMeasure
+
+	// numMeasures bounds the enum; keep it last.
+	numMeasures
 )
+
+// MaxMeasure is the largest valid Measure value (for range validation).
+const MaxMeasure = numMeasures - 1
 
 // String names the measure.
 func (m Measure) String() string {
@@ -152,6 +215,10 @@ func (m Measure) String() string {
 		return "surprising-measure"
 	case WRAccMeasure:
 		return "wracc"
+	case GrowthRateMeasure:
+		return "growth-rate"
+	case ContrastRuleMeasure:
+		return "contrast-rules"
 	default:
 		return fmt.Sprintf("Measure(%d)", int(m))
 	}
@@ -174,7 +241,64 @@ func (m Measure) Eval(s Supports) float64 {
 			}
 		}
 		return best
+	case GrowthRateMeasure:
+		return s.GrowthRate()
+	case ContrastRuleMeasure:
+		return s.ConfidenceSpread()
 	default:
 		panic("pattern: unknown measure")
 	}
+}
+
+// measureEntry is one row of the interest-measure registry: the wire name
+// (accepted by the serve API and cmd/contrast -measure), the measure, and
+// a one-line description for listings.
+type measureEntry struct {
+	Name    string
+	Measure Measure
+	Desc    string
+}
+
+// measureTable is the registry, in enum order. The long String() names are
+// accepted as aliases by MeasureByName.
+var measureTable = []measureEntry{
+	{"diff", SupportDiff, "largest between-group support difference (Eq. 2)"},
+	{"pr", PurityRatio, "purity ratio 1 − min(supp)/max(supp) (Eq. 12)"},
+	{"surprising", SurprisingMeasure, "PR × Diff (Eq. 13, the paper's qualitative default)"},
+	{"wracc", WRAccMeasure, "best per-group weighted relative accuracy"},
+	{"growth", GrowthRateMeasure, "emerging-pattern growth rate, squashed to GR/(GR+1)"},
+	{"contrast-rules", ContrastRuleMeasure, "SCR-style confidence spread max conf − min conf"},
+}
+
+// MeasureByName resolves a measure by its wire name ("diff", "pr",
+// "surprising", "wracc", "growth", "contrast-rules") or its long String()
+// name ("support-difference", …). ok is false for unknown names.
+func MeasureByName(name string) (Measure, bool) {
+	for _, e := range measureTable {
+		if name == e.Name || name == e.Measure.String() {
+			return e.Measure, true
+		}
+	}
+	return 0, false
+}
+
+// MeasureNames returns the registered wire names in enum order — the
+// vocabulary CLI flags and API fields advertise.
+func MeasureNames() []string {
+	out := make([]string, len(measureTable))
+	for i, e := range measureTable {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// MeasureDescription returns the registry's one-line description of a
+// measure ("" for out-of-range values).
+func MeasureDescription(m Measure) string {
+	for _, e := range measureTable {
+		if e.Measure == m {
+			return e.Desc
+		}
+	}
+	return ""
 }

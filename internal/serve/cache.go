@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sdadcs/internal/core"
+	"sdadcs/internal/dataset"
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/trace"
 )
@@ -12,14 +13,17 @@ import (
 // mineOutput is everything one Mine execution produced that later requests
 // may want: the deterministic report bytes (byte-identical across cache
 // hits — pinned by the report golden test), the contrast count, the run
-// statistics, and the trace/metrics snapshots backing the /trace, /explain
-// and progress endpoints of deduplicated or cache-hit jobs.
+// statistics, the trace/metrics snapshots backing the /trace, /explain
+// and progress endpoints of deduplicated or cache-hit jobs, and — for the
+// globally-discretizing algorithms — the binned dataset the contrasts'
+// items refer to.
 type mineOutput struct {
 	JSON      []byte
 	Contrasts int
 	Stats     core.Stats
 	Trace     *trace.Trace
 	Metrics   *metrics.Snapshot
+	Binned    *dataset.Dataset
 }
 
 // resultCache maps (dataset hash, canonical config hash) to mineOutput,

@@ -10,6 +10,7 @@ import (
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/engine"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/trace"
 )
@@ -29,14 +30,18 @@ type RegisterRequest struct {
 
 // ConfigRequest is the JSON mining configuration accepted by POST
 // /v1/jobs. Zero/absent fields select the paper's defaults, mirroring
-// core.Config's zero value.
+// engine.Config's zero value.
 type ConfigRequest struct {
+	// Algorithm selects the miner: sdadcs (default) | stucco | mvd |
+	// entropy | subgroup — the engine registry's vocabulary.
+	Algorithm    string  `json:"algorithm,omitempty"`
 	Alpha        float64 `json:"alpha,omitempty"`
 	Delta        float64 `json:"delta,omitempty"`
 	MaxDepth     int     `json:"max_depth,omitempty"`
 	MaxRecursion int     `json:"max_recursion,omitempty"`
 	TopK         int     `json:"top_k,omitempty"`
-	// Measure: diff | pr | surprising | wracc (default diff).
+	// Measure: diff | pr | surprising | wracc | growth | contrast-rules
+	// (default diff) — the pattern measure registry's wire names.
 	Measure string `json:"measure,omitempty"`
 	// OEMode: paper | conservative (default paper).
 	OEMode string `json:"oe_mode,omitempty"`
@@ -51,6 +56,16 @@ type ConfigRequest struct {
 	// Attrs restricts mining to these attribute names (resolved against
 	// the dataset's schema).
 	Attrs []string `json:"attrs,omitempty"`
+
+	// Subgroup-discovery knobs (algorithm: subgroup).
+	BeamWidth   int     `json:"beam_width,omitempty"`
+	Bins        int     `json:"bins,omitempty"`
+	MinCoverage int     `json:"min_coverage,omitempty"`
+	MinQuality  float64 `json:"min_quality,omitempty"`
+
+	// MVD discretization knobs (algorithm: mvd).
+	BinSize   int `json:"bin_size,omitempty"`
+	MaxSweeps int `json:"max_sweeps,omitempty"`
 }
 
 // JobRequest is the POST /v1/jobs body.
@@ -62,8 +77,12 @@ type JobRequest struct {
 }
 
 // toConfig resolves the wire configuration against a dataset schema.
-func (cr ConfigRequest) toConfig(d *dataset.Dataset) (core.Config, error) {
-	cfg := core.Config{
+// Vocabulary failures (measure, oe_mode, counting, attrs) are typed
+// *core.FieldErrors so the error envelope names the offending field; the
+// engine's own Validate covers everything numeric.
+func (cr ConfigRequest) toConfig(d *dataset.Dataset) (engine.Config, error) {
+	cfg := engine.Config{
+		Algorithm:            cr.Algorithm,
 		Alpha:                cr.Alpha,
 		Delta:                cr.Delta,
 		MaxDepth:             cr.MaxDepth,
@@ -71,19 +90,24 @@ func (cr ConfigRequest) toConfig(d *dataset.Dataset) (core.Config, error) {
 		TopK:                 cr.TopK,
 		Workers:              cr.Workers,
 		DFS:                  cr.DFS,
+		NP:                   cr.NP,
 		SkipMeaningfulFilter: cr.SkipMeaningfulFilter,
+		BeamWidth:            cr.BeamWidth,
+		Bins:                 cr.Bins,
+		MinCoverage:          cr.MinCoverage,
+		MinQuality:           cr.MinQuality,
+		BinSize:              cr.BinSize,
+		MaxSweeps:            cr.MaxSweeps,
 	}
-	switch cr.Measure {
-	case "", "diff":
+	if cr.Measure == "" {
 		cfg.Measure = pattern.SupportDiff
-	case "pr":
-		cfg.Measure = pattern.PurityRatio
-	case "surprising":
-		cfg.Measure = pattern.SurprisingMeasure
-	case "wracc":
-		cfg.Measure = pattern.WRAccMeasure
-	default:
-		return cfg, fmt.Errorf("unknown measure %q (want diff, pr, surprising or wracc)", cr.Measure)
+	} else {
+		m, ok := pattern.MeasureByName(cr.Measure)
+		if !ok {
+			return cfg, &core.FieldError{Field: "measure", Value: cr.Measure,
+				Reason: "unknown measure; one of " + strings.Join(pattern.MeasureNames(), ", ")}
+		}
+		cfg.Measure = m
 	}
 	switch cr.OEMode {
 	case "", "paper":
@@ -91,7 +115,8 @@ func (cr ConfigRequest) toConfig(d *dataset.Dataset) (core.Config, error) {
 	case "conservative":
 		cfg.OEMode = core.OEModeConservative
 	default:
-		return cfg, fmt.Errorf("unknown oe_mode %q (want paper or conservative)", cr.OEMode)
+		return cfg, &core.FieldError{Field: "oe_mode", Value: cr.OEMode,
+			Reason: "unknown oe_mode; paper or conservative"}
 	}
 	switch cr.Counting {
 	case "", "auto":
@@ -101,15 +126,14 @@ func (cr ConfigRequest) toConfig(d *dataset.Dataset) (core.Config, error) {
 	case "slice":
 		cfg.Counting = core.CountingSlice
 	default:
-		return cfg, fmt.Errorf("unknown counting %q (want auto, bitmap or slice)", cr.Counting)
-	}
-	if cr.NP {
-		cfg = cfg.NP()
+		return cfg, &core.FieldError{Field: "counting", Value: cr.Counting,
+			Reason: "unknown counting; auto, bitmap or slice"}
 	}
 	for _, name := range cr.Attrs {
 		idx := d.AttrIndex(name)
 		if idx < 0 {
-			return cfg, fmt.Errorf("unknown attribute %q", name)
+			return cfg, &core.FieldError{Field: "attrs", Value: name,
+				Reason: "unknown attribute"}
 		}
 		cfg.Attrs = append(cfg.Attrs, idx)
 	}

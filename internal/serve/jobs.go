@@ -9,8 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/engine"
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/report"
 	"sdadcs/internal/trace"
@@ -57,7 +57,7 @@ type Job struct {
 	ID        string
 	DatasetID string
 	key       string // dataset ID + canonical config hash: the dedup address
-	cfg       core.Config
+	cfg       engine.Config
 	timeout   time.Duration
 	ds        *dataset.Dataset
 	dsInfo    DatasetInfo
@@ -96,6 +96,7 @@ type JobProgress struct {
 type JobStatus struct {
 	ID         string       `json:"id"`
 	DatasetID  string       `json:"dataset_id"`
+	Algorithm  string       `json:"algorithm"`
 	ConfigHash string       `json:"config_hash"`
 	State      JobState     `json:"state"`
 	Error      string       `json:"error,omitempty"`
@@ -112,9 +113,14 @@ type JobStatus struct {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	alg := j.cfg.Algorithm
+	if alg == "" {
+		alg = "sdadcs"
+	}
 	st := JobStatus{
 		ID:         j.ID,
 		DatasetID:  j.DatasetID,
+		Algorithm:  alg,
 		ConfigHash: j.cfg.CanonicalHash(),
 		State:      j.state,
 		Deduped:    j.deduped,
@@ -145,7 +151,10 @@ func (j *Job) Status() JobStatus {
 			TraceEvents: s.TraceEvents,
 		}
 		if p.MaxDepth == 0 {
-			p.MaxDepth = 5 // the documented default
+			p.MaxDepth = 5 // the documented levelwise default
+			if alg == "subgroup" {
+				p.MaxDepth = 2 // beam search defaults shallower
+			}
 		}
 		for _, lv := range s.Levels {
 			p.NodesEvaluated += lv.Nodes
@@ -185,8 +194,18 @@ func (j *Job) TraceSnapshot() *trace.Trace {
 	return nil
 }
 
-// Dataset returns the job's dataset (for rendering explanations).
-func (j *Job) Dataset() *dataset.Dataset { return j.ds }
+// Dataset returns the dataset explanations should be rendered against:
+// the globally-discretized view when the algorithm produced one (its
+// contrasts' items name the binned attributes), otherwise the raw dataset.
+func (j *Job) Dataset() *dataset.Dataset {
+	j.mu.Lock()
+	out := j.out
+	j.mu.Unlock()
+	if out != nil && out.Binned != nil {
+		return out.Binned
+	}
+	return j.ds
+}
 
 // liveMetrics returns the running job's instrumentation snapshot.
 func (j *Job) liveMetrics() (metrics.Snapshot, bool) {
@@ -294,7 +313,7 @@ func newManager(reg *Registry, cache *resultCache, workers, queueDepth int, defa
 // from the result cache, attaches it to an in-flight identical execution,
 // or enqueues it as a new leader. ErrQueueFull means every queue slot is
 // taken (HTTP 429); ErrDraining means Close began.
-func (m *Manager) Submit(datasetID string, cfg core.Config, timeout time.Duration) (*Job, error) {
+func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Duration) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -472,14 +491,20 @@ func (m *Manager) runJob(job *Job) {
 	}
 
 	m.counters.mineExecutions.Add(1)
-	res, err := core.MineContext(runCtx, job.ds, cfg)
+	res, err := engine.MineContext(runCtx, job.ds, cfg)
 	if err != nil {
 		m.finishFlight(job, nil, err)
 		return
 	}
 
+	// Globally-discretizing algorithms (mvd, entropy) emit contrasts whose
+	// items refer to the binned view, so render against it when present.
+	renderDS := job.ds
+	if res.Binned != nil {
+		renderDS = res.Binned
+	}
 	var buf bytes.Buffer
-	if rerr := report.JSON(&buf, job.ds, res.Contrasts); rerr != nil {
+	if rerr := report.JSON(&buf, renderDS, res.Contrasts); rerr != nil {
 		m.finishFlight(job, nil, fmt.Errorf("serve: rendering result: %w", rerr))
 		return
 	}
@@ -489,6 +514,7 @@ func (m *Manager) runJob(job *Job) {
 		Stats:     res.Stats,
 		Trace:     res.Trace,
 		Metrics:   res.Metrics,
+		Binned:    res.Binned,
 	}
 	m.cache.put(job.key, out)
 	m.finishFlight(job, out, nil)

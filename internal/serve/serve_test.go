@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"sdadcs/internal/engine"
 	"sdadcs/internal/trace"
 )
 
@@ -683,5 +684,124 @@ func TestConcurrentClients(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Fatal(err)
+	}
+}
+
+// TestAlgorithmsEndToEnd runs every registered algorithm over the HTTP API
+// and checks the status reports the algorithm and the result renders.
+func TestAlgorithmsEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	dsID := c.register(smallCSV)
+
+	for _, alg := range engine.Algorithms() {
+		st, code, body := c.submit(map[string]any{
+			"dataset_id": dsID,
+			"config":     map[string]any{"algorithm": alg},
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("%s: submit %d %s", alg, code, body)
+		}
+		fin := c.waitState(st.ID, JobDone, 15*time.Second)
+		if fin.State != JobDone {
+			t.Fatalf("%s: job ended %s (%s)", alg, fin.State, fin.Error)
+		}
+		if fin.Algorithm != alg {
+			t.Fatalf("%s: status algorithm = %q", alg, fin.Algorithm)
+		}
+		code, res := c.do("GET", "/v1/jobs/"+st.ID+"/result", nil)
+		if code != http.StatusOK {
+			t.Fatalf("%s: result %d %s", alg, code, res)
+		}
+		var parsed []any
+		if err := json.Unmarshal(res, &parsed); err != nil {
+			t.Fatalf("%s: result not JSON: %v", alg, err)
+		}
+	}
+
+	// Unknown algorithm and unknown measure are typed 400s.
+	for field, cfg := range map[string]map[string]any{
+		"Algorithm": {"algorithm": "apriori"},
+		"measure":   {"algorithm": "stucco", "measure": "lift"},
+	} {
+		_, code, body := c.submit(map[string]any{"dataset_id": dsID, "config": cfg})
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400 (%s)", field, code, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, f := range eb.Fields {
+			if f == field {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("400 body missing field %s: %s", field, body)
+		}
+	}
+}
+
+// TestAlgorithmCacheEquivalence is the canonical-key acceptance test:
+// equivalent (algorithm, measure) spellings fold to one cache key, so the
+// second submission is a born-done cache hit whose /result body is
+// byte-identical to the first — while changing the algorithm or the
+// measure misses the cache and costs a fresh execution.
+func TestAlgorithmCacheEquivalence(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	dsID := c.register(smallCSV)
+
+	run := func(cfg map[string]any) (JobStatus, []byte) {
+		t.Helper()
+		st, code, body := c.submit(map[string]any{"dataset_id": dsID, "config": cfg})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %v: %d %s", cfg, code, body)
+		}
+		fin := c.waitState(st.ID, JobDone, 15*time.Second)
+		if fin.State != JobDone {
+			t.Fatalf("job %v ended %s (%s)", cfg, fin.State, fin.Error)
+		}
+		code, res := c.do("GET", "/v1/jobs/"+st.ID+"/result", nil)
+		if code != http.StatusOK {
+			t.Fatalf("result %v: %d", cfg, code)
+		}
+		return fin, res
+	}
+
+	base := c.metrics()
+	_, res1 := run(map[string]any{"algorithm": "stucco"})
+
+	// Same algorithm and measure, spelled with every default made explicit
+	// plus result-neutral knobs flipped: one canonical key, zero executions.
+	second, res2 := run(map[string]any{
+		"algorithm": "stucco", "alpha": 0.05, "top_k": 100,
+		"measure": "diff", "workers": 8, "counting": "slice",
+	})
+	if !second.CacheHit {
+		t.Fatalf("equivalent spelling was not a cache hit: %+v", second)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Fatal("equivalent (algorithm, measure) configs returned different result bytes")
+	}
+	m := c.metrics()
+	if got := m.MineExecutions - base.MineExecutions; got != 1 {
+		t.Fatalf("two equivalent spellings cost %d executions, want 1", got)
+	}
+
+	// A different measure or algorithm must not share the key.
+	third, res3 := run(map[string]any{"algorithm": "stucco", "measure": "wracc"})
+	if third.CacheHit {
+		t.Fatal("different measure was served from the cache")
+	}
+	if bytes.Equal(res1, res3) {
+		t.Fatal("different measure produced byte-identical result (scores should differ)")
+	}
+	fourth, _ := run(map[string]any{"algorithm": "subgroup"})
+	if fourth.CacheHit {
+		t.Fatal("different algorithm was served from the cache")
+	}
+	if got := c.metrics().MineExecutions - base.MineExecutions; got != 3 {
+		t.Fatalf("total executions = %d, want 3", got)
 	}
 }

@@ -7,7 +7,7 @@ import (
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
-	"sdadcs/internal/entropy"
+	"sdadcs/internal/engine"
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/mvd"
 	"sdadcs/internal/pattern"
@@ -110,7 +110,21 @@ const (
 	// WRAccMeasure is weighted relative accuracy, used by the subgroup
 	// discovery baseline.
 	WRAccMeasure = pattern.WRAccMeasure
+	// GrowthRateMeasure is the emerging-pattern growth rate of Dong & Li,
+	// squashed to GR/(GR+1).
+	GrowthRateMeasure = pattern.GrowthRateMeasure
+	// ContrastRuleMeasure is the SCR-style confidence spread
+	// max conf − min conf.
+	ContrastRuleMeasure = pattern.ContrastRuleMeasure
 )
+
+// MeasureByName resolves an interest measure by its wire name ("diff",
+// "pr", "surprising", "wracc", "growth", "contrast-rules") or its long
+// String() name.
+func MeasureByName(name string) (Measure, bool) { return pattern.MeasureByName(name) }
+
+// MeasureNames returns the registered measure wire names in enum order.
+func MeasureNames() []string { return pattern.MeasureNames() }
 
 // Optimistic-estimate modes.
 const (
@@ -246,19 +260,28 @@ func MineSTUCCO(d *Dataset, cfg STUCCOConfig) []Contrast {
 	return stucco.Mine(d, cfg).Contrasts
 }
 
-// MineMVD discretizes with Bay's MVD and mines the binned data. The
-// returned dataset is the binned copy the contrasts refer to.
-func MineMVD(d *Dataset, cfg MVDConfig, search STUCCOConfig) ([]Contrast, *Dataset) {
-	res := mvd.Mine(d, cfg, search)
-	return res.Contrasts, res.Binned
+// Unified engine API: every algorithm — the SDAD-CS search and the four
+// baselines — behind one canonical configuration.
+type (
+	// MinerConfig is the canonical cross-algorithm configuration: set
+	// Algorithm to "sdadcs" (default), "stucco", "mvd", "entropy" or
+	// "subgroup" and the shared knobs mean the same thing everywhere.
+	MinerConfig = engine.Config
+	// MinerResult is the normalized outcome: contrasts, search stats, the
+	// binned dataset for globally-discretizing algorithms, and the shared
+	// metrics/trace snapshots.
+	MinerResult = engine.Result
+)
+
+// MineWith dispatches to the configured algorithm. A canceled ctx returns
+// the partial result plus ctx.Err(); a malformed config returns joined
+// field errors and an empty result.
+func MineWith(ctx context.Context, d *Dataset, cfg MinerConfig) (MinerResult, error) {
+	return engine.MineContext(ctx, d, cfg)
 }
 
-// MineEntropy discretizes with Fayyad–Irani MDLP and mines the binned
-// data. The returned dataset is the binned copy the contrasts refer to.
-func MineEntropy(d *Dataset, search STUCCOConfig) ([]Contrast, *Dataset) {
-	res := entropy.Mine(d, search)
-	return res.Contrasts, res.Binned
-}
+// Algorithms returns the registered algorithm names.
+func Algorithms() []string { return engine.Algorithms() }
 
 // MineSubgroups runs Cortana-style beam-search subgroup discovery (WRACC,
 // interval conditions), pooling subgroups from every target group.

@@ -2,6 +2,7 @@ package sdadcs_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -81,20 +82,24 @@ func TestPublicAPIBaselines(t *testing.T) {
 	if len(cs) == 0 {
 		t.Error("subgroup baseline found nothing")
 	}
-	ecs, binned := sdadcs.MineEntropy(d, sdadcs.STUCCOConfig{})
-	if binned == nil {
+	eres, err := sdadcs.MineWith(context.Background(), d, sdadcs.MinerConfig{Algorithm: "entropy"})
+	if err != nil {
+		t.Fatalf("entropy baseline: %v", err)
+	}
+	if eres.Binned == nil {
 		t.Fatal("entropy baseline returned no binned dataset")
 	}
-	if len(ecs) == 0 {
+	if len(eres.Contrasts) == 0 {
 		t.Error("entropy baseline found nothing on separable data")
 	}
-	// MVD on 24 rows with default 100-row bins cannot split; it must not
-	// crash and returns no contrasts.
-	mcs, mbinned := sdadcs.MineMVD(d, sdadcs.MVDConfig{BinSize: 4}, sdadcs.STUCCOConfig{})
-	if mbinned == nil {
+	// MVD on 24 rows needs small bins to split; it must not crash.
+	mres, err := sdadcs.MineWith(context.Background(), d, sdadcs.MinerConfig{Algorithm: "mvd", BinSize: 4})
+	if err != nil {
+		t.Fatalf("MVD baseline: %v", err)
+	}
+	if mres.Binned == nil {
 		t.Fatal("MVD baseline returned no binned dataset")
 	}
-	_ = mcs
 	// Partitions=2 keeps each bin's expected cell count above the
 	// chi-square validity floor on this 24-row sample.
 	qcs, qbinned := sdadcs.MineQAR(d, sdadcs.QARConfig{Partitions: 2}, sdadcs.STUCCOConfig{})
