@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -398,7 +399,7 @@ func servePhase(d *dataset.Dataset, jobs, depth int, counting core.CountingMode)
 	phaseStart := time.Now()
 	for i := 0; i < jobs; i++ {
 		cfg := engine.Config{MaxDepth: depth, TopK: 20 + i, Counting: counting}
-		j, err := s.Manager().Submit(info.ID, cfg, time.Minute)
+		j, err := s.Manager().Submit(context.Background(), info.ID, cfg, time.Minute)
 		if err != nil {
 			return 0, nil, 0, err
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sdadcs"
+	"sdadcs/internal/obs"
 )
 
 func main() {
@@ -36,14 +37,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		input    = fs.String("input", "", "input CSV file (required; rows in arrival order)")
-		group    = fs.String("group", "", "name of the group column (required)")
-		window   = fs.Int("window", 2000, "sliding window size in rows")
-		every    = fs.Int("every", 0, "re-mine cadence in rows (0 = window/4)")
-		minScore = fs.Float64("minscore", 0.2, "alerting floor for appear/disappear events")
-		depth    = fs.Int("depth", 2, "maximum attributes per pattern")
-		metricsA = fs.String("metrics", "", "serve live pipeline metrics as JSON on this address (e.g. :8080; GET /metrics)")
-		traceF   = fs.String("trace", "", "append one decision-trace segment per mined window to FILE as JSON Lines")
+		input     = fs.String("input", "", "input CSV file (required; rows in arrival order)")
+		group     = fs.String("group", "", "name of the group column (required)")
+		window    = fs.Int("window", 2000, "sliding window size in rows")
+		every     = fs.Int("every", 0, "re-mine cadence in rows (0 = window/4)")
+		minScore  = fs.Float64("minscore", 0.2, "alerting floor for appear/disappear events")
+		depth     = fs.Int("depth", 2, "maximum attributes per pattern")
+		metricsA  = fs.String("metrics", "", "serve live pipeline metrics on this address (e.g. :8080; GET /metrics, ?format=prometheus or /metrics/prometheus for text exposition)")
+		traceF    = fs.String("trace", "", "append one decision-trace segment per mined window to FILE as JSON Lines")
+		logLevel  = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +54,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *input == "" || *group == "" {
 		fmt.Fprintln(stderr, "usage: monitor -input data.csv -group <column> [flags]")
 		fs.PrintDefaults()
+		return 2
+	}
+
+	log, err := obs.Config{Level: *logLevel, Format: *logFormat, Output: stderr}.NewLogger()
+	if err != nil {
+		fmt.Fprintln(stderr, "monitor:", err)
 		return 2
 	}
 
@@ -110,7 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Live metrics endpoint: the recorder is shared with the miner, so a
 	// GET /metrics during the replay sees counters moving in real time.
 	// The server carries full read/write/idle timeouts — a stalled or idle
-	// client cannot pin a connection (and its goroutine) forever.
+	// client cannot pin a connection (and its goroutine) forever. Every
+	// route sits behind the RED middleware: access logs with request IDs,
+	// latency/error accounting, panic recovery.
 	var mrec *sdadcs.MetricsRecorder
 	if *metricsA != "" {
 		mrec = sdadcs.NewMetricsRecorder()
@@ -119,8 +130,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "monitor: metrics listener:", lerr)
 			return 1
 		}
+		httpm := obs.NewHTTPMetrics()
+		mw := &obs.Middleware{Log: log.With("component", "monitor.http"), Metrics: httpm}
+		jsonHandler := sdadcs.MetricsHandler(mrec)
+		promHandler := func(w http.ResponseWriter, _ *http.Request) {
+			fams := obs.MinerFamilies("sdadcs_miner_", mrec.Snapshot())
+			fams = append(fams, obs.REDFamilies("sdadcs_http_", httpm)...)
+			fams = append(fams, obs.RuntimeFamilies()...)
+			w.Header().Set("Content-Type", obs.ContentType)
+			if werr := obs.WriteExposition(w, fams); werr != nil {
+				log.Error("prometheus exposition failed", "component", "monitor.http", "error", werr)
+			}
+		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", sdadcs.MetricsHandler(mrec))
+		mux.Handle("GET /metrics", mw.Wrap("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Query().Get("format") {
+			case "", "json":
+				jsonHandler.ServeHTTP(w, r)
+			case "prometheus", "prom":
+				promHandler(w, r)
+			default:
+				http.Error(w, fmt.Sprintf("unknown metrics format %q; json or prometheus", r.URL.Query().Get("format")), http.StatusBadRequest)
+			}
+		})))
+		mux.Handle("GET /metrics/prometheus", mw.Wrap("GET /metrics/prometheus", http.HandlerFunc(promHandler)))
 		srv := &http.Server{
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,

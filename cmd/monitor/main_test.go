@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"sync"
 	"time"
 
 	"sdadcs"
+	"sdadcs/internal/obs"
 
 	"bytes"
 	"fmt"
@@ -198,6 +200,96 @@ func TestRunMetricsEndpoint(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "re-mine latency:") {
 		t.Errorf("missing latency summary:\n%s", s)
+	}
+}
+
+// TestRunMetricsPrometheus: the text exposition endpoint serves a page
+// that passes the strict parser and carries the miner, RED and runtime
+// families; access lines land on stderr as JSON when -log-format json.
+func TestRunMetricsPrometheus(t *testing.T) {
+	path := writeLongStreamCSV(t, 30000)
+	var out, errBuf syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-input", path, "-group", "result",
+			"-window", "2000", "-every", "500",
+			"-metrics", "127.0.0.1:0",
+			"-log-format", "json",
+		}, &out, &errBuf)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		s := errBuf.String()
+		if i := strings.Index(s, "http://"); i >= 0 {
+			if j := strings.Index(s[i:], "/metrics"); j >= 0 {
+				addr = s[i : i+j+len("/metrics")]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("metrics address never announced: %s", errBuf.String())
+	}
+
+	scraped := false
+	for time.Now().Before(deadline) && !scraped {
+		resp, err := http.Get(addr + "/prometheus")
+		if err != nil {
+			break // server already closed: replay finished
+		}
+		page, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if lerr := obs.LintExposition(page); lerr != nil {
+			t.Fatalf("scrape fails strict parse: %v\n%s", lerr, page)
+		}
+		for _, want := range []string{"sdadcs_miner_sdad_calls_total", "sdadcs_http_requests_total", "go_goroutines"} {
+			if !strings.Contains(string(page), want) {
+				t.Errorf("scrape missing %q", want)
+			}
+		}
+		scraped = true
+	}
+	t.Logf("live prometheus scrape succeeded: %v", scraped)
+
+	if code := <-done; code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if scraped {
+		// The scrape produced a JSON access-log record with a request ID.
+		found := false
+		for _, line := range strings.Split(errBuf.String(), "\n") {
+			if !strings.HasPrefix(line, "{") {
+				continue
+			}
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("non-JSON log line %q: %v", line, err)
+			}
+			if rec["msg"] == "http request" {
+				if id, _ := rec["request_id"].(string); !strings.HasPrefix(id, "req_") {
+					t.Fatalf("access log without request_id: %s", line)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no access-log record for the scrape: %s", errBuf.String())
+		}
+	}
+}
+
+func TestRunBadLogFlags(t *testing.T) {
+	path := writeStreamCSV(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-input", path, "-group", "result",
+		"-log-level", "loud"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad log level: exit %d, want 2", code)
 	}
 }
 

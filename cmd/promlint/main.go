@@ -1,0 +1,39 @@
+// Command promlint strict-parses a Prometheus text exposition (v0.0.4)
+// from stdin and exits non-zero on the first violation: missing or
+// misplaced HELP/TYPE comments, malformed metric or label names, broken
+// escaping, duplicate series, non-contiguous families, and histogram
+// defects (le buckets out of order, non-cumulative counts, missing +Inf
+// terminal or _sum/_count). CI pipes scraped /metrics output through it
+// so an encoder regression fails the build, not the dashboard.
+//
+// Usage:
+//
+//	curl -s localhost:8377/metrics/prometheus | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sdadcs/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; factored out of main for testing.
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	data, err := io.ReadAll(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "promlint:", err)
+		return 1
+	}
+	if err := obs.LintExposition(data); err != nil {
+		fmt.Fprintln(stderr, "promlint:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "promlint: ok")
+	return 0
+}

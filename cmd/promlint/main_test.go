@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunValid(t *testing.T) {
+	page := "# HELP x_total h\n# TYPE x_total counter\nx_total 1\n"
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(page), &out, &errOut); code != 0 {
+		t.Fatalf("run() = %d, stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("stdout %q", out.String())
+	}
+}
+
+func TestRunInvalid(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader("orphan_total 1\n"), &out, &errOut); code != 1 {
+		t.Fatalf("run() = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no HELP/TYPE") {
+		t.Fatalf("stderr %q", errOut.String())
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, bytes.ErrTooLarge }
+
+func TestRunReadError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(failingReader{}, &out, &errOut); code != 1 {
+		t.Fatalf("run() = %d, want 1", code)
+	}
+}

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	serve -addr :8377 [-workers N] [-queue N] [-row-budget N] [-grace 10s]
+//	      [-log-level info] [-log-format text|json] [-pprof] [-drain-wait 0s]
 //
-// SIGINT/SIGTERM drains gracefully: the listener stops accepting, running
-// jobs get the grace period to finish, then their contexts are canceled.
+// Structured logs (access lines, job lifecycle with request/job
+// correlation IDs, registry events) go to stderr; stdout keeps the two
+// operator lines ("listening on", "drained").
+//
+// SIGINT/SIGTERM drains gracefully: readiness (/readyz) flips to 503
+// immediately, -drain-wait leaves load balancers a propagation window
+// while everything keeps serving, then the listener stops accepting and
+// running jobs get the grace period before their contexts are canceled.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdadcs/internal/obs"
 	"sdadcs/internal/serve"
 )
 
@@ -44,8 +52,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 5*time.Minute, "default per-job deadline (0 = none)")
 		grace     = fs.Duration("grace", 10*time.Second, "drain grace for running jobs on shutdown")
 		maxUpload = fs.Int64("max-upload", 64<<20, "maximum dataset registration body in bytes")
+		logLevel  = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		drainWait = fs.Duration("drain-wait", 0, "on shutdown, keep serving this long after /readyz turns 503 (LB propagation window)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	log, err := obs.Config{Level: *logLevel, Format: *logFormat, Output: stderr}.NewLogger()
+	if err != nil {
+		fmt.Fprintln(stderr, "serve:", err)
 		return 2
 	}
 
@@ -60,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheEntries:   *cacheN,
 		DefaultTimeout: dt,
 		MaxUploadBytes: *maxUpload,
+		Logger:         log,
+		EnablePprof:    *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -93,9 +113,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Drain order: stop accepting HTTP first (in-flight responses get the
-	// grace window too), then drain the job manager — running mines get the
-	// same grace before their contexts are canceled.
+	// Drain order: readiness flips first so load balancers stop routing
+	// (-drain-wait leaves them a propagation window during which every
+	// endpoint still serves), then the listener stops accepting — in-flight
+	// responses get the grace window too — then the job manager drains, and
+	// running mines get the same grace before their contexts are canceled.
+	s.StartDrain()
+	if *drainWait > 0 {
+		time.Sleep(*drainWait)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

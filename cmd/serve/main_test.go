@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -10,6 +11,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"sdadcs/internal/obs"
 )
 
 // TestRunServesAndDrains boots the binary's run() on an ephemeral port,
@@ -123,6 +126,135 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "serve: drained") {
 		t.Fatalf("missing drain message; stdout=%q", stdout.String())
+	}
+}
+
+// TestRunObservabilitySurface: the binary's flag wiring end to end — JSON
+// logs on stderr with request IDs, the Prometheus exposition passing the
+// strict parser, gated pprof, and the -drain-wait window in which /readyz
+// is 503 while /healthz stays 200 and requests still serve.
+func TestRunObservabilitySurface(t *testing.T) {
+	var stdout, stderr safeBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-grace", "5s",
+			"-log-format", "json", "-log-level", "info",
+			"-pprof", "-drain-wait", "1s",
+		}, &stdout, &stderr)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+				base = "http://" + strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Prometheus exposition passes the strict parser.
+	code, page := get("/metrics/prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("prometheus scrape: %d", code)
+	}
+	if err := obs.LintExposition(page); err != nil {
+		t.Fatalf("scrape fails strict parse: %v\n%s", err, page)
+	}
+	if !bytes.Contains(page, []byte("sdadcs_serve_ready 1")) {
+		t.Fatalf("scrape missing readiness gauge:\n%s", page)
+	}
+
+	// pprof is mounted (the flag) and readiness is green.
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+
+	// SIGTERM: within the drain-wait window, /readyz flips to 503 while
+	// /healthz keeps answering 200 — the LB propagation contract.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	sawNotReady := false
+	deadline = time.Now().Add(3 * time.Second)
+	for !sawNotReady {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never turned 503 after SIGTERM")
+		}
+		if code, _ := get("/readyz"); code == http.StatusServiceUnavailable {
+			sawNotReady = true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("healthz during drain window: %d %s", code, body)
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run() = %d; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run() did not exit after SIGTERM")
+	}
+
+	// Structured JSON access logs with request IDs landed on stderr.
+	foundAccess := false
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // the plain "signal received" operator line
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] == "http request" {
+			if id, _ := rec["request_id"].(string); !strings.HasPrefix(id, "req_") {
+				t.Fatalf("access log without request_id: %s", line)
+			}
+			foundAccess = true
+		}
+	}
+	if !foundAccess {
+		t.Fatalf("no access-log records on stderr: %q", stderr.String())
+	}
+}
+
+func TestRunBadLogFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-log-level", "loud"}, &out, &out); code != 2 {
+		t.Fatalf("bad log level: run() = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-log-format", "xml"}, &out, &out); code != 2 {
+		t.Fatalf("bad log format: run() = %d, want 2", code)
 	}
 }
 

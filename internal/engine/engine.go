@@ -21,10 +21,12 @@ package engine
 import (
 	"context"
 	"sort"
+	"time"
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/metrics"
+	"sdadcs/internal/obs"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/trace"
 )
@@ -126,12 +128,36 @@ func Mine(d *dataset.Dataset, cfg Config) (Result, error) {
 
 // MineContext is Mine with cancellation. The config is validated first; a
 // malformed config returns joined *core.FieldErrors and an empty Result.
+//
+// When ctx carries a logger (obs.WithLogger — the serving layer attaches
+// one with the job's correlation IDs), the dispatch emits start/done
+// records; with a bare context the path is log-free and costs nothing.
 func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	m, _ := Lookup(cfg.algorithm()) // Validate guarantees the lookup
+	log := obs.Log(ctx)
+	log.InfoContext(ctx, "mine start",
+		"algorithm", m.Name(),
+		"dataset", d.Name(),
+		"rows", d.Rows(),
+		"attrs", d.NumAttrs())
+	start := time.Now()
 	res, err := m.Mine(ctx, d, cfg)
 	res.Algorithm = m.Name()
+	if err != nil {
+		log.WarnContext(ctx, "mine done",
+			"algorithm", m.Name(),
+			"error", err.Error(),
+			"duration_ms", float64(time.Since(start))/1e6)
+	} else {
+		log.InfoContext(ctx, "mine done",
+			"algorithm", m.Name(),
+			"contrasts", len(res.Contrasts),
+			"partitions_evaluated", res.Stats.PartitionsEvaluated,
+			"spaces_pruned", res.Stats.SpacesPruned,
+			"duration_ms", float64(time.Since(start))/1e6)
+	}
 	return res, err
 }

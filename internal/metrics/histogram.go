@@ -66,6 +66,33 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return time.Duration(s.TotalNanos / s.Count)
 }
 
+// CumulativeBucket is one Prometheus-style histogram bucket: Count
+// observations had durations ≤ HiNanos.
+type CumulativeBucket struct {
+	HiNanos int64
+	Count   int64
+}
+
+// Cumulative converts the sparse per-bucket counts into the cumulative
+// (upper bound, running count) pairs text-format exposition needs.
+// Counts are non-decreasing by construction; observations that landed in
+// the open-ended last bucket are only part of the +Inf total, which is
+// the snapshot's Count and is not included here.
+func (s HistogramSnapshot) Cumulative() []CumulativeBucket {
+	out := make([]CumulativeBucket, 0, len(s.Buckets))
+	var running int64
+	for _, b := range s.Buckets {
+		if b.HiNanos == 0 {
+			// Open-ended terminal bucket: its observations appear only in
+			// the +Inf bucket the encoder appends.
+			continue
+		}
+		running += b.Count
+		out = append(out, CumulativeBucket{HiNanos: b.HiNanos, Count: running})
+	}
+	return out
+}
+
 // Snapshot copies the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{

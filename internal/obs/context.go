@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+// ctxKey is the private key space for correlation values.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota
+	ctxJobID
+	ctxLogger
+)
+
+// NewID mints a correlation ID: prefix + "_" + 8 random hex bytes
+// ("req_1f2a9c03d4e5b687"). IDs are opaque; only uniqueness matters.
+func NewID(prefix string) string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; an all-zero ID still
+		// functions as a (non-unique) correlation value.
+		return prefix + "_0000000000000000"
+	}
+	return prefix + "_" + hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request correlation ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestID returns the request correlation ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// WithJobID attaches a job correlation ID to the context.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxJobID, id)
+}
+
+// JobID returns the job correlation ID, or "".
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxJobID).(string)
+	return id
+}
+
+// WithLogger attaches a logger to the context so layers below the one
+// that owns the logger (the engine dispatcher, notably) can emit
+// correlated records without a structural dependency on their caller.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxLogger, l)
+}
+
+// Log returns the context's logger, or the Nop logger. Never nil.
+func Log(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(ctxLogger).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return nop
+}
+
+// ContextHandler decorates an slog.Handler so records emitted through
+// *Context logging methods pick up the request_id / job_id correlation
+// values carried by the context. One grep for either ID then
+// reconstructs a request's (or job's) full lifecycle across components.
+type ContextHandler struct {
+	Inner slog.Handler
+}
+
+// Enabled defers to the wrapped handler.
+func (h ContextHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.Inner.Enabled(ctx, lvl)
+}
+
+// Handle stamps correlation attributes from ctx onto the record.
+func (h ContextHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	if id := JobID(ctx); id != "" {
+		r.AddAttrs(slog.String("job_id", id))
+	}
+	return h.Inner.Handle(ctx, r)
+}
+
+// WithAttrs wraps the inner handler's derived handler.
+func (h ContextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ContextHandler{Inner: h.Inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the inner handler's derived handler.
+func (h ContextHandler) WithGroup(name string) slog.Handler {
+	return ContextHandler{Inner: h.Inner.WithGroup(name)}
+}

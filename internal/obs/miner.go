@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"strconv"
+
+	"sdadcs/internal/metrics"
+)
+
+// MinerFamilies flattens one miner instrumentation snapshot into
+// exposition families under the given metric-name prefix
+// ("sdadcs_miner_"). It is the Prometheus rendering of the same state
+// the JSON /metrics endpoint serves: search-effort counters, per-rule
+// prune hits, per-level node counts, the node-evaluation latency
+// histogram, the top-k threshold, and stream re-mine totals.
+func MinerFamilies(prefix string, s metrics.Snapshot) []Family {
+	prune := Family{Name: prefix + "prune_hits_total", Help: "Pruning-rule firings, by rule.", Type: TypeCounter}
+	for _, p := range s.Prune {
+		prune.Samples = append(prune.Samples, Sample{
+			Labels: []Label{{Name: "rule", Value: p.Rule}},
+			Value:  float64(p.Hits),
+		})
+	}
+	levels := Family{Name: prefix + "level_nodes_total", Help: "Frontier nodes evaluated, by search level.", Type: TypeCounter}
+	var nodes, contrasts int64
+	for _, lv := range s.Levels {
+		nodes += lv.Nodes
+		contrasts += lv.Contrasts
+		levels.Samples = append(levels.Samples, Sample{
+			Labels: []Label{{Name: "level", Value: strconv.Itoa(lv.Level)}},
+			Value:  float64(lv.Nodes),
+		})
+	}
+	fams := []Family{
+		Counter(prefix+"nodes_total", "Frontier nodes evaluated across all levels.", float64(nodes)),
+		Counter(prefix+"contrasts_total", "Contrast candidates emitted by the search.", float64(contrasts)),
+		Counter(prefix+"sdad_calls_total", "SDAD-CS discretization invocations.", float64(s.SDADCalls)),
+		Counter(prefix+"splits_total", "Median splits performed by SDAD-CS.", float64(s.Splits)),
+		Counter(prefix+"boxes_explored_total", "Partition boxes explored by SDAD-CS.", float64(s.BoxesExplored)),
+		Counter(prefix+"merge_attempts_total", "Bottom-up merge attempts.", float64(s.MergeAttempts)),
+		Counter(prefix+"merge_ops_total", "Successful space merges.", float64(s.MergeOps)),
+		Counter(prefix+"bitmap_builds_total", "Bitmaps constructed for the dataset index.", float64(s.BitmapBuilds)),
+		Counter(prefix+"bitmap_index_reuses_total", "Mine calls that reused an already-built index.", float64(s.BitmapIndexReuses)),
+		Counter(prefix+"bitmap_and_ops_total", "Cover AND value-bitmap intersections.", float64(s.BitmapAndOps)),
+		Counter(prefix+"bitmap_popcounts_total", "Popcount passes over covers and group masks.", float64(s.BitmapPopcounts)),
+		Counter(prefix+"threshold_updates_total", "Top-k admission-threshold changes.", float64(s.ThresholdUpdates)),
+		Gauge(prefix+"threshold", "Current top-k admission threshold.", s.Threshold),
+	}
+	if len(prune.Samples) > 0 {
+		fams = append(fams, prune)
+	}
+	if len(levels.Samples) > 0 {
+		fams = append(fams, levels)
+	}
+	fams = append(fams,
+		HistogramFamily(prefix+"node_eval_seconds", "Per-node evaluation latency.", nil, s.NodeEval),
+		Counter(prefix+"remine_windows_total", "Stream windows re-mined.", float64(s.Remine.Count)),
+		Counter(prefix+"remine_seconds_total", "Cumulative stream re-mine wall time.", float64(s.Remine.TotalNanos)/1e9),
+		Counter(prefix+"trace_events_total", "Decision-trace events emitted.", float64(s.TraceEvents)),
+		Counter(prefix+"trace_dropped_total", "Decision-trace events dropped on ring overflow.", float64(s.TraceDropped)),
+	)
+	return fams
+}

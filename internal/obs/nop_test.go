@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The engine logs "mine start"/"mine done" through obs.Log(ctx) on every
+// MineContext call, including library callers with a bare context. That
+// path must stay free: Log falls back to the Nop logger, whose handler
+// reports Enabled=false at every level, so slog discards the record
+// before building it.
+
+func TestNopPathAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		Log(ctx).InfoContext(ctx, "mine start", "algorithm", "sdadcs", "rows", 1000)
+	}); n != 0 {
+		t.Errorf("disabled-path log call allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func BenchmarkLogBareContext(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Log(ctx).InfoContext(ctx, "mine start", "algorithm", "sdadcs", "rows", 1000)
+	}
+}
+
+func BenchmarkNopLogger(b *testing.B) {
+	ctx := context.Background()
+	log := Nop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		log.InfoContext(ctx, "mine done", "contrasts", 12, "duration_ms", int64(3))
+	}
+}

@@ -1,0 +1,101 @@
+// Package obs is the service observability layer: structured logging
+// (log/slog) with per-request and per-job correlation IDs carried through
+// context.Context, RED middleware for HTTP surfaces (request/error
+// counters, latency histograms, in-flight gauge, access logs, panic
+// recovery), and a hand-rolled Prometheus text-exposition encoder with a
+// strict lint-grade parser.
+//
+// Like internal/metrics and internal/trace, the package is a standard-
+// library-only dependency leaf below the serving layer: internal/serve,
+// internal/engine and the commands thread it through; nothing in the
+// mining hot path depends on it. The disabled states are cheap: Nop()
+// returns a logger whose handler refuses every level before any attribute
+// is materialized, and obs.Log on a bare context returns that same
+// logger, so an un-instrumented engine call costs two predictable
+// branches per Mine — not per node.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Config selects the process-wide logging surface. The zero value is
+// text-format INFO to stderr — the conventional operator default.
+type Config struct {
+	// Level is the minimum level emitted: debug | info | warn | error
+	// (default info).
+	Level string
+	// Format selects the handler: text | json (default text).
+	Format string
+	// Output receives the log stream (default os.Stderr).
+	Output io.Writer
+}
+
+// ParseLevel resolves a level name ("" = info).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewLogger builds the root logger: a text or JSON slog handler at the
+// configured level, wrapped in ContextHandler so every record emitted
+// under a correlated context automatically carries request_id / job_id.
+func (c Config) NewLogger() (*slog.Logger, error) {
+	lvl, err := ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	out := c.Output
+	if out == nil {
+		out = os.Stderr
+	}
+	var h slog.Handler
+	switch strings.ToLower(c.Format) {
+	case "", "text":
+		h = slog.NewTextHandler(out, &slog.HandlerOptions{Level: lvl})
+	case "json":
+		h = slog.NewJSONHandler(out, &slog.HandlerOptions{Level: lvl})
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", c.Format)
+	}
+	return slog.New(ContextHandler{Inner: h}), nil
+}
+
+// nopHandler refuses every level, so a Nop logger never materializes
+// records or attributes.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nop = slog.New(nopHandler{})
+
+// Nop returns the disabled logger: every level is refused before any
+// attribute is evaluated into a record. Use it wherever a *slog.Logger is
+// required but the caller configured no logging.
+func Nop() *slog.Logger { return nop }
+
+// Or returns l, or the Nop logger when l is nil — the normalization every
+// Options-style struct applies once at construction.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nop
+	}
+	return l
+}

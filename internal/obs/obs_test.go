@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"", slog.LevelInfo},
+		{"info", slog.LevelInfo},
+		{"debug", slog.LevelDebug},
+		{"warn", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"error", slog.LevelError},
+		{"ERROR", slog.LevelError},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose): want error")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := (Config{Format: "json", Output: &buf}).NewLogger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	var rec map[string]any
+	if jerr := json.Unmarshal(buf.Bytes(), &rec); jerr != nil {
+		t.Fatalf("json format did not produce JSON: %v\n%s", jerr, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("unexpected record: %v", rec)
+	}
+
+	buf.Reset()
+	log, err = (Config{Format: "text", Level: "warn", Output: &buf}).NewLogger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("filtered")
+	log.Warn("kept")
+	if strings.Contains(buf.String(), "filtered") || !strings.Contains(buf.String(), "kept") {
+		t.Errorf("level filter broken: %s", buf.String())
+	}
+
+	if _, err := (Config{Format: "xml"}).NewLogger(); err == nil {
+		t.Error("unknown format: want error")
+	}
+	if _, err := (Config{Level: "loud"}).NewLogger(); err == nil {
+		t.Error("unknown level: want error")
+	}
+}
+
+func TestContextHandlerStampsCorrelationIDs(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := (Config{Format: "json", Output: &buf}).NewLogger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithJobID(WithRequestID(context.Background(), "req_abc"), "job_001")
+	log.InfoContext(ctx, "both ids")
+	log.With("component", "x").InfoContext(ctx, "after With")
+	log.Info("no ctx")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 records, got %d", len(lines))
+	}
+	for i, want := range []bool{true, true, false} {
+		var rec map[string]any
+		if jerr := json.Unmarshal([]byte(lines[i]), &rec); jerr != nil {
+			t.Fatal(jerr)
+		}
+		_, hasReq := rec["request_id"]
+		_, hasJob := rec["job_id"]
+		if hasReq != want || hasJob != want {
+			t.Errorf("record %d: request_id=%v job_id=%v, want both %v: %s", i, hasReq, hasJob, want, lines[i])
+		}
+		if want && (rec["request_id"] != "req_abc" || rec["job_id"] != "job_001") {
+			t.Errorf("record %d: wrong IDs: %s", i, lines[i])
+		}
+	}
+}
+
+func TestNewID(t *testing.T) {
+	re := regexp.MustCompile(`^req_[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID("req")
+		if !re.MatchString(id) {
+			t.Fatalf("malformed ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNopAndContextLog(t *testing.T) {
+	if Nop() == nil || Or(nil) != Nop() {
+		t.Fatal("Nop/Or(nil) broken")
+	}
+	if Log(context.Background()) != Nop() {
+		t.Fatal("Log on bare context should be Nop")
+	}
+	var buf bytes.Buffer
+	log, _ := (Config{Output: &buf}).NewLogger()
+	ctx := WithLogger(context.Background(), log)
+	Log(ctx).Info("carried")
+	if !strings.Contains(buf.String(), "carried") {
+		t.Fatalf("context logger not used: %s", buf.String())
+	}
+	if Nop().Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("Nop logger should refuse every level")
+	}
+}

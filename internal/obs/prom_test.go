@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sdadcs/internal/metrics"
+)
+
+// sampleHistogram builds a populated duration histogram snapshot.
+func sampleHistogram(t *testing.T) metrics.HistogramSnapshot {
+	t.Helper()
+	var h metrics.Histogram
+	for _, d := range []time.Duration{
+		50 * time.Microsecond, 300 * time.Microsecond, 2 * time.Millisecond,
+		2 * time.Millisecond, 40 * time.Millisecond, 3 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+// render writes a family set and requires the encoder to succeed.
+func render(t *testing.T, fams []Family) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, fams); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestExpositionRoundTrip: everything the encoder emits must pass the
+// strict parser — counters, gauges, labeled families, histograms — and
+// two renders of the same state must be byte-identical.
+func TestExpositionRoundTrip(t *testing.T) {
+	labeled := Family{Name: "test_labeled_total", Help: "With labels.", Type: TypeCounter}
+	for _, route := range []string{"GET /v1/jobs", "POST /v1/jobs"} {
+		labeled.Samples = append(labeled.Samples, Sample{
+			Labels: []Label{{Name: "route", Value: route}},
+			Value:  3,
+		})
+	}
+	fams := []Family{
+		Counter("test_events_total", "A counter.", 42),
+		Gauge("test_depth", "A gauge.", 7.5),
+		labeled,
+		HistogramFamily("test_latency_seconds", "A histogram.",
+			[]Label{{Name: "route", Value: "GET /healthz"}}, sampleHistogram(t)),
+	}
+	first := render(t, fams)
+	if err := LintExposition(first); err != nil {
+		t.Fatalf("encoder output fails strict parse: %v\n%s", err, first)
+	}
+	second := render(t, fams)
+	if !bytes.Equal(first, second) {
+		t.Fatal("two renders of identical state differ")
+	}
+	for _, want := range []string{
+		"# HELP test_events_total A counter.",
+		"# TYPE test_events_total counter",
+		"# TYPE test_depth gauge",
+		"# TYPE test_latency_seconds histogram",
+		`test_labeled_total{route="GET /v1/jobs"} 3`,
+		`le="+Inf"`,
+		"test_latency_seconds_sum",
+		"test_latency_seconds_count",
+	} {
+		if !strings.Contains(string(first), want) {
+			t.Errorf("exposition missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestHistogramSamplesCumulative: the log2-bucketed snapshot converts to
+// strictly ascending le values with non-decreasing cumulative counts
+// terminated by +Inf == _count.
+func TestHistogramSamplesCumulative(t *testing.T) {
+	snap := sampleHistogram(t)
+	samples := HistogramSamples(nil, snap)
+	var lastLe, lastCount float64
+	var infSeen bool
+	var count float64
+	for _, s := range samples {
+		switch s.Suffix {
+		case "_bucket":
+			le := s.Labels[len(s.Labels)-1]
+			if le.Name != "le" {
+				t.Fatalf("bucket without trailing le label: %+v", s)
+			}
+			if le.Value == "+Inf" {
+				infSeen = true
+				continue
+			}
+			if infSeen {
+				t.Fatal("finite bucket after +Inf")
+			}
+			v, err := parseValue(le.Value)
+			if err != nil {
+				t.Fatalf("unparsable le %q", le.Value)
+			}
+			if v <= lastLe {
+				t.Fatalf("le not ascending: %v after %v", v, lastLe)
+			}
+			if s.Value < lastCount {
+				t.Fatalf("counts not cumulative: %v after %v", s.Value, lastCount)
+			}
+			lastLe, lastCount = v, s.Value
+		case "_count":
+			count = s.Value
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket")
+	}
+	if count != float64(snap.Count) {
+		t.Fatalf("_count %v != snapshot count %d", count, snap.Count)
+	}
+}
+
+// TestWriteExpositionRejects: invalid names and types are loud errors.
+func TestWriteExpositionRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, []Family{Counter("bad name", "x", 1)}); err == nil {
+		t.Error("metric name with space: want error")
+	}
+	if err := WriteExposition(&buf, []Family{Counter("0leading", "x", 1)}); err == nil {
+		t.Error("metric name with leading digit: want error")
+	}
+	if err := WriteExposition(&buf, []Family{{Name: "ok_total", Type: "timer", Samples: []Sample{{Value: 1}}}}); err == nil {
+		t.Error("invalid family type: want error")
+	}
+	bad := Family{Name: "ok_total", Type: TypeCounter,
+		Samples: []Sample{{Labels: []Label{{Name: "bad-label", Value: "x"}}, Value: 1}}}
+	if err := WriteExposition(&buf, []Family{bad}); err == nil {
+		t.Error("invalid label name: want error")
+	}
+}
+
+// TestLabelValueEscaping: quotes, backslashes and newlines survive the
+// encode/parse round trip.
+func TestLabelValueEscaping(t *testing.T) {
+	f := Family{Name: "test_escapes_total", Help: `Help with \backslash`, Type: TypeCounter,
+		Samples: []Sample{{
+			Labels: []Label{{Name: "v", Value: "quote\" back\\slash new\nline"}},
+			Value:  1,
+		}}}
+	out := render(t, []Family{f})
+	if err := LintExposition(out); err != nil {
+		t.Fatalf("escaped output fails parse: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `v="quote\" back\\slash new\nline"`) {
+		t.Errorf("escaping wrong:\n%s", out)
+	}
+}
+
+// TestLintExpositionViolations: each malformed page is rejected with the
+// right complaint.
+func TestLintExpositionViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string
+	}{
+		{"sample without declaration",
+			"orphan_total 1\n",
+			"no HELP/TYPE"},
+		{"help without type",
+			"# HELP x_total h\nx_total 1\n",
+			"before its TYPE"},
+		{"type without help",
+			"# TYPE x_total counter\nx_total 1\n",
+			"without preceding HELP"},
+		{"duplicate family",
+			"# HELP x_total h\n# TYPE x_total counter\nx_total 1\n# HELP x_total h\n# TYPE x_total counter\n",
+			"duplicate family"},
+		{"non-contiguous family",
+			"# HELP a_total h\n# TYPE a_total counter\na_total 1\n# HELP b_total h\n# TYPE b_total counter\nb_total 1\na_total 2\n",
+			"contiguous"},
+		{"duplicate series",
+			"# HELP x_total h\n# TYPE x_total counter\nx_total 1\nx_total 2\n",
+			"duplicate series"},
+		{"invalid metric name",
+			"# HELP 1x h\n# TYPE 1x counter\n1x 1\n",
+			"invalid metric name"},
+		{"invalid type",
+			"# HELP x h\n# TYPE x meter\nx 1\n",
+			"invalid type"},
+		{"unquoted label",
+			"# HELP x h\n# TYPE x counter\nx{l=v} 1\n",
+			"unquoted"},
+		{"bad escape",
+			"# HELP x h\n# TYPE x counter\nx{l=\"a\\t\"} 1\n",
+			"invalid escape"},
+		{"unparsable value",
+			"# HELP x h\n# TYPE x counter\nx one\n",
+			"unparsable value"},
+		{"family without samples",
+			"# HELP x h\n# TYPE x counter\n",
+			"no samples"},
+		{"histogram missing inf",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf"},
+		{"histogram non-cumulative",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative"},
+		{"histogram le out of order",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"not ascending"},
+		{"histogram inf != count",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count"},
+		{"histogram missing sum",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"_sum"},
+		{"histogram inf not terminal",
+			"# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 2\n",
+			"terminal"},
+	}
+	for _, c := range cases {
+		err := LintExposition([]byte(c.page))
+		if err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestLintExpositionAccepts: valid pages (histogram with labels, escaped
+// values, gauges) parse clean.
+func TestLintExpositionAccepts(t *testing.T) {
+	page := strings.Join([]string{
+		"# HELP good_total A counter.",
+		"# TYPE good_total counter",
+		`good_total{route="GET /x",code="2xx"} 10`,
+		`good_total{route="GET /y",code="2xx"} 3`,
+		"# HELP lat_seconds Latency.",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{route="a",le="0.1"} 1`,
+		`lat_seconds_bucket{route="a",le="+Inf"} 4`,
+		`lat_seconds_sum{route="a"} 0.5`,
+		`lat_seconds_count{route="a"} 4`,
+		`lat_seconds_bucket{route="b",le="0.1"} 0`,
+		`lat_seconds_bucket{route="b",le="+Inf"} 1`,
+		`lat_seconds_sum{route="b"} 2`,
+		`lat_seconds_count{route="b"} 1`,
+		"", // trailing newline
+	}, "\n")
+	if err := LintExposition([]byte(page)); err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"runtime"
+)
+
+// RuntimeFamilies snapshots the Go runtime for exposition: goroutine
+// count, heap occupancy, and GC cycle/pause totals. Names follow the
+// conventional go_* vocabulary so standard dashboards light up unchanged.
+func RuntimeFamilies() []Family {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []Family{
+		Gauge("go_goroutines", "Number of goroutines that currently exist.", float64(runtime.NumGoroutine())),
+		Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)),
+		Gauge("go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.", float64(ms.HeapInuse)),
+		Gauge("go_memstats_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects)),
+		Gauge("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.", float64(ms.Sys)),
+		Gauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", float64(ms.NextGC)),
+		Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)),
+		Counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9),
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
@@ -30,10 +31,11 @@ type mineOutput struct {
 // LRU-bounded by entry count. Everything stored is immutable after
 // insertion, so readers share entries without copying.
 type resultCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+	mu        sync.Mutex
+	max       int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	evictions atomic.Int64
 }
 
 type cacheSlot struct {
@@ -76,6 +78,7 @@ func (c *resultCache) put(key string, out *mineOutput) {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.entries, el.Value.(*cacheSlot).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -84,3 +87,6 @@ func (c *resultCache) len() int {
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
+
+// evicted reports how many entries LRU pressure has dropped.
+func (c *resultCache) evicted() int64 { return c.evictions.Load() }

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/engine"
+	"sdadcs/internal/obs"
 	"sdadcs/internal/pattern"
 	"sdadcs/internal/trace"
 )
@@ -178,7 +180,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // Handler mounts the full v1 API:
 //
-//	GET    /healthz                   liveness + drain state
+//	GET    /healthz                   liveness (always 200 while the process serves)
+//	GET    /readyz                    readiness (503 once draining)
 //	POST   /v1/datasets               register a CSV (content-hash addressed)
 //	GET    /v1/datasets               list registered datasets
 //	GET    /v1/datasets/{id}          one dataset's info
@@ -190,37 +193,79 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //	GET    /v1/jobs/{id}/trace        decision trace as JSON Lines
 //	GET    /v1/jobs/{id}/explain?key= pattern provenance (core.Explain)
 //	GET    /v1/metrics                serve counters + live mining snapshots
+//	                                  (?format=prometheus for text exposition)
+//	GET    /v1/metrics/prometheus     text exposition (also /metrics[/prometheus])
+//	/debug/pprof/...                  profiling (only with Options.EnablePprof)
+//
+// Every route is wrapped in the RED middleware: request/error counters and
+// latency histograms per route pattern, one access-log line per request
+// carrying the request correlation ID, and panic recovery into logged 500s.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/datasets", s.handleRegister)
-	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /v1/jobs/{id}/explain", s.handleExplain)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mw := &obs.Middleware{Log: s.log.With("component", "serve.http"), Metrics: s.httpm}
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, mw.Wrap(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /readyz", s.handleReady)
+	handle("POST /v1/datasets", s.handleRegister)
+	handle("GET /v1/datasets", s.handleListDatasets)
+	handle("GET /v1/datasets/{id}", s.handleGetDataset)
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleListJobs)
+	handle("GET /v1/jobs/{id}", s.handleGetJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	handle("GET /v1/jobs/{id}/result", s.handleResult)
+	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET /v1/jobs/{id}/explain", s.handleExplain)
+	handle("GET /v1/metrics", s.handleMetrics)
+	handle("GET /v1/metrics/prometheus", s.handlePrometheus)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /metrics/prometheus", s.handlePrometheus)
+	if s.opts.EnablePprof {
+		// One route label for the whole profiling surface, so scraping
+		// different profiles does not mint new metric series.
+		handle("/debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/debug/pprof/cmdline":
+				pprof.Cmdline(w, r)
+			case "/debug/pprof/profile":
+				pprof.Profile(w, r)
+			case "/debug/pprof/symbol":
+				pprof.Symbol(w, r)
+			case "/debug/pprof/trace":
+				pprof.Trace(w, r)
+			default:
+				pprof.Index(w, r)
+			}
+		})
+	}
 	return mux
 }
 
+// handleHealth is pure liveness: 200 as long as the process can serve,
+// draining included — restart decisions should not trigger on a graceful
+// shutdown. The drain state is reported in the body and gates /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mgr.mu.Lock()
-	draining := s.mgr.closed
-	s.mgr.mu.Unlock()
 	status := "ok"
-	code := http.StatusOK
-	if draining {
+	if !s.Ready() {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    status,
 		"uptime_ns": int64(time.Since(s.start)),
 	})
+}
+
+// handleReady is the routing gate: 503 the moment StartDrain (or Close)
+// ran, so load balancers stop sending new traffic while in-flight work
+// completes behind the still-green /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -275,7 +320,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.mgr.Submit(req.DatasetID, cfg, time.Duration(req.TimeoutMS)*time.Millisecond)
+	job, err := s.mgr.Submit(r.Context(), req.DatasetID, cfg, time.Duration(req.TimeoutMS)*time.Millisecond)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -412,6 +457,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.Metrics())
+	case "prometheus", "prom":
+		s.handlePrometheus(w, r)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown metrics format %q; json or prometheus", r.URL.Query().Get("format")))
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/engine"
 	"sdadcs/internal/metrics"
+	"sdadcs/internal/obs"
 	"sdadcs/internal/report"
 	"sdadcs/internal/trace"
 )
@@ -109,14 +112,19 @@ type JobStatus struct {
 	Progress   *JobProgress `json:"progress,omitempty"`
 }
 
+// algorithm resolves the job's effective algorithm name.
+func (j *Job) algorithm() string {
+	if j.cfg.Algorithm != "" {
+		return j.cfg.Algorithm
+	}
+	return "sdadcs"
+}
+
 // Status snapshots the job for the API.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	alg := j.cfg.Algorithm
-	if alg == "" {
-		alg = "sdadcs"
-	}
+	alg := j.algorithm()
 	st := JobStatus{
 		ID:         j.ID,
 		DatasetID:  j.DatasetID,
@@ -252,6 +260,39 @@ func (j *Job) finish(out *mineOutput, err error, c *counters) {
 	j.cancel() // release the context subtree; idempotent
 }
 
+// logFinished emits the terminal lifecycle record for a job that just
+// left finish(); logged against the job's correlated context so the line
+// carries both request_id and job_id.
+func (j *Job) logFinished(log *slog.Logger) {
+	j.mu.Lock()
+	state, err, created, finished := j.state, j.err, j.created, j.finished
+	contrasts := 0
+	if j.out != nil {
+		contrasts = j.out.Contrasts
+	}
+	deduped := j.deduped
+	j.mu.Unlock()
+	attrs := []any{
+		"state", string(state),
+		"algorithm", j.algorithm(),
+		"dataset_id", j.DatasetID,
+		"contrasts", contrasts,
+		"total_ms", float64(finished.Sub(created)) / 1e6,
+	}
+	if deduped {
+		attrs = append(attrs, "deduplicated", true)
+	}
+	switch state {
+	case JobFailed:
+		attrs = append(attrs, "error", fmt.Sprint(err))
+		log.ErrorContext(j.ctx, "job failed", attrs...)
+	case JobCanceled:
+		log.InfoContext(j.ctx, "job canceled", attrs...)
+	default:
+		log.InfoContext(j.ctx, "job done", attrs...)
+	}
+}
+
 // flight is one singleflight execution: the leader runs the mine; the
 // followers (identical dataset + canonical config, submitted while the
 // leader was pending or running) share its outcome without costing a
@@ -269,6 +310,10 @@ type Manager struct {
 	queue          chan *Job
 	defaultTimeout time.Duration
 	counters       *counters
+	log            *slog.Logger // component serve.jobs
+	mineLog        *slog.Logger // component engine, carried into mine contexts
+	queueWait      metrics.Histogram
+	miners         *minerTotals
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -283,13 +328,14 @@ type Manager struct {
 }
 
 // newManager starts workers goroutines consuming a queue of queueDepth.
-func newManager(reg *Registry, cache *resultCache, workers, queueDepth int, defaultTimeout time.Duration, c *counters) *Manager {
+func newManager(reg *Registry, cache *resultCache, workers, queueDepth int, defaultTimeout time.Duration, c *counters, log *slog.Logger) *Manager {
 	if workers <= 0 {
 		workers = 1
 	}
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
+	log = obs.Or(log)
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		reg:            reg,
@@ -297,6 +343,9 @@ func newManager(reg *Registry, cache *resultCache, workers, queueDepth int, defa
 		queue:          make(chan *Job, queueDepth),
 		defaultTimeout: defaultTimeout,
 		counters:       c,
+		log:            log.With("component", "serve.jobs"),
+		mineLog:        log.With("component", "engine"),
+		miners:         newMinerTotals(),
 		baseCtx:        ctx,
 		baseCancel:     cancel,
 		jobs:           make(map[string]*Job),
@@ -309,11 +358,26 @@ func newManager(reg *Registry, cache *resultCache, workers, queueDepth int, defa
 	return m
 }
 
+// QueueWait snapshots the queue-wait histogram (pending → running).
+func (m *Manager) QueueWait() metrics.HistogramSnapshot {
+	return m.queueWait.Snapshot()
+}
+
+// MinerTotals snapshots the per-algorithm accumulated mining effort.
+func (m *Manager) MinerTotals() []AlgorithmTotals {
+	return m.miners.snapshot()
+}
+
 // Submit validates, resolves the dataset, and either completes the job
 // from the result cache, attaches it to an in-flight identical execution,
 // or enqueues it as a new leader. ErrQueueFull means every queue slot is
 // taken (HTTP 429); ErrDraining means Close began.
-func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Duration) (*Job, error) {
+//
+// ctx is the admission context: its request correlation ID (obs) is
+// adopted into the job's own context so every later lifecycle record can
+// be joined back to the submitting request. Cancellation of ctx does NOT
+// cancel the job — jobs outlive their submitting request by design.
+func (m *Manager) Submit(ctx context.Context, datasetID string, cfg engine.Config, timeout time.Duration) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -324,9 +388,16 @@ func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Durat
 	if timeout <= 0 {
 		timeout = m.defaultTimeout
 	}
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	id := fmt.Sprintf("job_%08x", m.seq.Add(1))
+	// The job context carries the correlation pair (request ID adopted
+	// from admission, its own job ID) plus the engine-facing logger, so
+	// layers below the manager emit joined records without knowing about
+	// the service at all.
+	jctx := obs.WithJobID(obs.WithRequestID(m.baseCtx, obs.RequestID(ctx)), id)
+	jctx = obs.WithLogger(jctx, m.mineLog)
+	jctx, cancel := context.WithCancel(jctx)
 	job := &Job{
-		ID:        fmt.Sprintf("job_%08x", m.seq.Add(1)),
+		ID:        id,
 		DatasetID: datasetID,
 		key:       datasetID + "/" + cfg.CanonicalHash(),
 		cfg:       cfg,
@@ -334,11 +405,19 @@ func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Durat
 		ds:        ds,
 		dsInfo:    info,
 		release:   release,
-		ctx:       ctx,
+		ctx:       jctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		state:     JobPending,
 		created:   time.Now().UTC(),
+	}
+	accepted := func(outcome string) {
+		m.counters.jobsSubmitted.Add(1)
+		m.log.InfoContext(job.ctx, "job accepted",
+			"outcome", outcome,
+			"dataset_id", datasetID,
+			"algorithm", job.algorithm(),
+			"config_hash", cfg.CanonicalHash())
 	}
 
 	m.mu.Lock()
@@ -346,6 +425,7 @@ func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Durat
 		m.mu.Unlock()
 		cancel()
 		release()
+		m.log.WarnContext(ctx, "job rejected: draining", "dataset_id", datasetID)
 		return nil, ErrDraining
 	}
 
@@ -358,8 +438,9 @@ func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Durat
 		job.cacheHit = true
 		job.mu.Unlock()
 		m.counters.cacheHits.Add(1)
-		m.counters.jobsSubmitted.Add(1)
+		accepted("cache_hit")
 		job.finish(out, nil, m.counters)
+		job.logFinished(m.log)
 		cancel()
 		release()
 		return job, nil
@@ -375,7 +456,7 @@ func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Durat
 		m.publishLocked(job)
 		m.mu.Unlock()
 		m.counters.dedupHits.Add(1)
-		m.counters.jobsSubmitted.Add(1)
+		accepted("deduplicated")
 		release() // the leader's pin keeps the dataset alive
 		return job, nil
 	}
@@ -386,12 +467,13 @@ func (m *Manager) Submit(datasetID string, cfg engine.Config, timeout time.Durat
 		m.inflight[job.key] = &flight{leader: job}
 		m.publishLocked(job)
 		m.mu.Unlock()
-		m.counters.jobsSubmitted.Add(1)
+		accepted("queued")
 		return job, nil
 	default:
 		m.mu.Unlock()
 		cancel()
 		release()
+		m.log.WarnContext(ctx, "job rejected: queue full", "dataset_id", datasetID)
 		return nil, ErrQueueFull
 	}
 }
@@ -444,6 +526,7 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		// (or the leader's flight completion) later observes the terminal
 		// state and no-ops on this job.
 		job.finish(nil, context.Canceled, m.counters)
+		job.logFinished(m.log)
 	}
 	return job, nil
 }
@@ -454,6 +537,26 @@ func (m *Manager) worker() {
 	for job := range m.queue {
 		m.runJob(job)
 	}
+}
+
+// mine executes the engine call with panic isolation: a panicking
+// algorithm marks this one job failed (stack preserved in the log, the
+// job_panics counter incremented) instead of unwinding the worker
+// goroutine and killing the process.
+func (m *Manager) mine(ctx context.Context, job *Job, cfg engine.Config) (res engine.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.counters.jobPanics.Add(1)
+			m.log.ErrorContext(job.ctx, "job panicked",
+				"algorithm", job.algorithm(),
+				"dataset_id", job.DatasetID,
+				"panic", fmt.Sprint(p),
+				"stack", string(debug.Stack()))
+			err = fmt.Errorf("serve: job panicked: %v", p)
+		}
+	}()
+	m.counters.mineExecutions.Add(1)
+	return engine.MineContext(ctx, job.ds, cfg)
 }
 
 // runJob executes one leader job and completes its flight.
@@ -473,11 +576,17 @@ func (m *Manager) runJob(job *Job) {
 	}
 	job.state = JobRunning
 	job.started = time.Now().UTC()
+	wait := job.started.Sub(job.created)
 	job.rec = rec
 	job.tr = tr
 	m.counters.jobsRunning.Add(1)
 	job.mu.Unlock()
 	defer m.counters.jobsRunning.Add(-1)
+	m.queueWait.Observe(wait)
+	m.log.InfoContext(job.ctx, "job running",
+		"algorithm", job.algorithm(),
+		"dataset_id", job.DatasetID,
+		"queue_wait_ms", float64(wait)/1e6)
 
 	cfg := job.cfg
 	cfg.Metrics = rec
@@ -490,8 +599,9 @@ func (m *Manager) runJob(job *Job) {
 		defer tcancel()
 	}
 
-	m.counters.mineExecutions.Add(1)
-	res, err := engine.MineContext(runCtx, job.ds, cfg)
+	mineStart := time.Now()
+	res, err := m.mine(runCtx, job, cfg)
+	m.miners.observe(job.algorithm(), rec.Snapshot(), len(res.Contrasts), time.Since(mineStart))
 	if err != nil {
 		m.finishFlight(job, nil, err)
 		return
@@ -529,6 +639,7 @@ func (m *Manager) finishFlight(leader *Job, out *mineOutput, err error) {
 	m.mu.Unlock()
 
 	leader.finish(out, err, m.counters)
+	leader.logFinished(m.log)
 	if fl != nil {
 		for _, f := range fl.followers {
 			if err == nil {
@@ -536,6 +647,7 @@ func (m *Manager) finishFlight(leader *Job, out *mineOutput, err error) {
 			} else {
 				f.finish(nil, fmt.Errorf("%w: %v", errLeaderAborted, err), m.counters)
 			}
+			f.logFinished(m.log)
 		}
 	}
 	leader.release()
@@ -553,6 +665,7 @@ func (m *Manager) Close(grace time.Duration) {
 	m.mu.Unlock()
 	if first {
 		close(m.queue)
+		m.log.Info("job manager draining", "grace", grace.String())
 	}
 
 	workersDone := make(chan struct{})
@@ -570,4 +683,7 @@ func (m *Manager) Close(grace time.Duration) {
 	}
 	m.baseCancel() // cancels every job context still alive
 	<-workersDone
+	if first {
+		m.log.Info("job manager drained")
+	}
 }

@@ -14,11 +14,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"sdadcs/internal/dataset"
+	"sdadcs/internal/obs"
 )
 
 // DatasetInfo is the registry's public record of one dataset.
@@ -57,6 +59,7 @@ type dsEntry struct {
 // so the row budget actually bounds memory.
 type Registry struct {
 	mu        sync.Mutex
+	log       *slog.Logger
 	budget    int // max total rows across entries; 0 = unbounded
 	totalRows int
 	entries   map[string]*dsEntry
@@ -73,10 +76,19 @@ type Registry struct {
 // the sum of registered rows exceeds rowBudget (0 = unbounded).
 func NewRegistry(rowBudget int) *Registry {
 	return &Registry{
+		log:     obs.Nop(),
 		budget:  rowBudget,
 		entries: make(map[string]*dsEntry),
 		order:   list.New(),
 	}
+}
+
+// SetLogger attaches the structured log for registration and eviction
+// events. Call before serving; nil restores the no-op logger.
+func (r *Registry) SetLogger(log *slog.Logger) {
+	r.mu.Lock()
+	r.log = obs.Or(log)
+	r.mu.Unlock()
 }
 
 // hashDataset derives the content address from the parse-relevant inputs.
@@ -147,6 +159,12 @@ func (r *Registry) Register(name string, csvData []byte, groupColumn string, for
 	e.elem = r.order.PushFront(id)
 	r.entries[id] = e
 	r.totalRows += info.Rows
+	r.log.Info("dataset registered",
+		"dataset_id", id,
+		"name", name,
+		"rows", info.Rows,
+		"attrs", info.Attrs,
+		"total_rows", r.totalRows)
 	r.evictLocked(id)
 	return info, nil
 }
@@ -179,10 +197,16 @@ func (r *Registry) evictLocked(keep string) {
 		// Drop the attached bitmap index with the dataset: completed jobs
 		// may still reference the *Dataset for explain rendering, so the
 		// index is the part of the memory we can reclaim deterministically.
-		if victim.ds.Index().Drop() {
+		droppedIndex := victim.ds.Index().Drop()
+		if droppedIndex {
 			r.indexEvictions++
 			r.indexBuildsEvicted += victim.ds.Index().Builds()
 		}
+		r.log.Info("dataset evicted",
+			"dataset_id", victim.info.ID,
+			"rows", victim.info.Rows,
+			"dropped_index", droppedIndex,
+			"total_rows", r.totalRows)
 	}
 }
 

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"log/slog"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"sdadcs/internal/metrics"
+	"sdadcs/internal/obs"
 )
 
 // Options sizes the service. The zero value is usable.
@@ -26,6 +28,13 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxUploadBytes bounds a dataset registration body (default 64 MiB).
 	MaxUploadBytes int64
+	// Logger receives the structured service log (access lines, job
+	// lifecycle, registry events); nil disables logging. Component
+	// scoping and request/job correlation IDs are added by the server.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler (default off: profiling endpoints are operator surface).
+	EnablePprof bool
 }
 
 func (o *Options) defaults() {
@@ -56,6 +65,7 @@ type counters struct {
 	jobsFailed     atomic.Int64
 	jobsCanceled   atomic.Int64
 	jobsRunning    atomic.Int64
+	jobPanics      atomic.Int64
 	mineExecutions atomic.Int64
 	cacheHits      atomic.Int64
 	dedupHits      atomic.Int64
@@ -63,7 +73,9 @@ type counters struct {
 
 // ServerMetrics is the /v1/metrics payload: serve-level counters plus one
 // internal/metrics snapshot per running job (the same JSON shape
-// cmd/monitor -metrics serves).
+// cmd/monitor -metrics serves). The JSON shape is a compatibility
+// surface — new series land in the Prometheus exposition
+// (/v1/metrics?format=prometheus), not here.
 type ServerMetrics struct {
 	UptimeNanos        int64 `json:"uptime_ns"`
 	DatasetsRegistered int   `json:"datasets_registered"`
@@ -96,27 +108,38 @@ type ServerMetrics struct {
 // the HTTP API. Build with New, mount Handler, stop with Close.
 type Server struct {
 	opts     Options
+	log      *slog.Logger
 	reg      *Registry
 	cache    *resultCache
 	mgr      *Manager
 	counters *counters
+	httpm    *obs.HTTPMetrics
 	start    time.Time
+	// ready gates /readyz: flipped false by StartDrain (and Close) so
+	// load balancers stop routing before admissions actually stop.
+	ready atomic.Bool
 }
 
 // New builds a serving stack.
 func New(opts Options) *Server {
 	opts.defaults()
+	log := obs.Or(opts.Logger)
 	c := &counters{}
 	reg := NewRegistry(opts.RowBudget)
+	reg.SetLogger(log.With("component", "serve.registry"))
 	cache := newResultCache(opts.CacheEntries)
-	return &Server{
+	s := &Server{
 		opts:     opts,
+		log:      log,
 		reg:      reg,
 		cache:    cache,
-		mgr:      newManager(reg, cache, opts.Workers, opts.QueueDepth, opts.DefaultTimeout, c),
+		mgr:      newManager(reg, cache, opts.Workers, opts.QueueDepth, opts.DefaultTimeout, c, log),
 		counters: c,
+		httpm:    obs.NewHTTPMetrics(),
 		start:    time.Now(),
 	}
+	s.ready.Store(true)
+	return s
 }
 
 // Registry exposes the dataset registry (tests and preloading).
@@ -125,10 +148,42 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Manager exposes the job manager (tests and embedding).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// Close drains the server: submissions stop, running jobs get the grace
-// period, then their contexts are canceled; Close returns after every
-// worker goroutine exited.
-func (s *Server) Close(grace time.Duration) { s.mgr.Close(grace) }
+// HTTPMetrics exposes the RED aggregate of the mounted handler.
+func (s *Server) HTTPMetrics() *obs.HTTPMetrics { return s.httpm }
+
+// JobPanics reports how many job executions panicked and were isolated
+// into failed jobs.
+func (s *Server) JobPanics() int64 { return s.counters.jobPanics.Load() }
+
+// Ready reports whether the server should receive new traffic: true
+// until StartDrain/Close, and only while the job manager still admits.
+func (s *Server) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mgr.mu.Lock()
+	closed := s.mgr.closed
+	s.mgr.mu.Unlock()
+	return !closed
+}
+
+// StartDrain flips readiness off without stopping work: /readyz turns
+// 503 so load balancers stop routing, while /healthz stays green and
+// in-flight (and even newly submitted) requests keep completing. Call it
+// before Close, leaving the LB a propagation window. Idempotent.
+func (s *Server) StartDrain() {
+	if s.ready.CompareAndSwap(true, false) {
+		s.log.Info("drain started: readiness gate closed", "component", "serve")
+	}
+}
+
+// Close drains the server: readiness flips first, submissions stop,
+// running jobs get the grace period, then their contexts are canceled;
+// Close returns after every worker goroutine exited.
+func (s *Server) Close(grace time.Duration) {
+	s.StartDrain()
+	s.mgr.Close(grace)
+}
 
 // Metrics snapshots the serve-level counters and the live mining
 // snapshots of running jobs.

@@ -568,9 +568,10 @@ func TestJobTimeout(t *testing.T) {
 	}
 }
 
-// TestDrain: Close stops admissions (503 from both submit and healthz),
-// finishes by canceling stragglers, and leaves no worker goroutines — the
-// goroutine count returning to baseline is the leak check.
+// TestDrain: Close stops admissions (503 from both submit and readyz,
+// while liveness /healthz stays 200 and reports draining), finishes by
+// canceling stragglers, and leaves no worker goroutines — the goroutine
+// count returning to baseline is the leak check.
 func TestDrain(t *testing.T) {
 	before := runtime.NumGoroutine()
 	s := New(Options{Workers: 4})
@@ -602,8 +603,11 @@ func TestDrain(t *testing.T) {
 	if _, code, _ := c.submit(map[string]any{"dataset_id": dsID}); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit: %d, want 503", code)
 	}
-	if code, body := c.do("GET", "/healthz", nil); code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("draining")) {
-		t.Fatalf("post-drain healthz: %d %s", code, body)
+	if code, body := c.do("GET", "/healthz", nil); code != http.StatusOK || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("post-drain healthz: %d %s, want 200 + draining", code, body)
+	}
+	if code, body := c.do("GET", "/readyz", nil); code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("post-drain readyz: %d %s, want 503 + draining", code, body)
 	}
 	ts.Close()
 
@@ -694,6 +698,9 @@ func TestAlgorithmsEndToEnd(t *testing.T) {
 	dsID := c.register(smallCSV)
 
 	for _, alg := range engine.Algorithms() {
+		if alg == "panic-test" {
+			continue // the panic-isolation test's deliberately-exploding miner
+		}
 		st, code, body := c.submit(map[string]any{
 			"dataset_id": dsID,
 			"config":     map[string]any{"algorithm": alg},
