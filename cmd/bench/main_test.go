@@ -36,7 +36,7 @@ var quickReport = func() func(t *testing.T) (*Report, string) {
 }()
 
 // TestQuickRunProducesAllWorkloads: one -quick run emits a schema'd report
-// with all five workloads, positive timings, and the serve workload's
+// with all six workloads, positive timings, and the serve workload's
 // one-build index guarantee.
 func TestQuickRunProducesAllWorkloads(t *testing.T) {
 	rep, _ := quickReport(t)
@@ -46,7 +46,7 @@ func TestQuickRunProducesAllWorkloads(t *testing.T) {
 	if rep.Revision != "test" || rep.Go == "" || rep.CPUs <= 0 {
 		t.Fatalf("environment header incomplete: %+v", rep)
 	}
-	want := []string{"categorical-heavy", "mixed", "wide-continuous", "stucco-bitmap", "serve-throughput"}
+	want := []string{"categorical-heavy", "mixed", "wide-continuous", "stucco-bitmap", "serve-throughput", "serve-coldstart"}
 	if len(rep.Workloads) != len(want) {
 		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(want))
 	}
@@ -54,11 +54,21 @@ func TestQuickRunProducesAllWorkloads(t *testing.T) {
 		if w.Name != want[i] {
 			t.Errorf("workload %d = %q, want %q", i, w.Name, want[i])
 		}
-		if w.WallNsBest <= 0 || w.WallNsMean <= 0 || w.SliceWallNsBest <= 0 {
+		if w.WallNsBest <= 0 || w.WallNsMean <= 0 {
 			t.Errorf("%s: non-positive timings %+v", w.Name, w)
 		}
-		if w.SpeedupVsSlice <= 0 {
-			t.Errorf("%s: speedup_vs_slice = %v", w.Name, w.SpeedupVsSlice)
+		// serve-coldstart has no slice twin: its speedup stays 0 by design.
+		if w.Name == "serve-coldstart" {
+			if w.SliceWallNsBest != 0 || w.SpeedupVsSlice != 0 {
+				t.Errorf("%s: unexpected slice phase %+v", w.Name, w)
+			}
+		} else {
+			if w.SliceWallNsBest <= 0 {
+				t.Errorf("%s: non-positive slice timing %+v", w.Name, w)
+			}
+			if w.SpeedupVsSlice <= 0 {
+				t.Errorf("%s: speedup_vs_slice = %v", w.Name, w.SpeedupVsSlice)
+			}
 		}
 		if w.WallNsBest > w.WallNsMean {
 			t.Errorf("%s: best %d exceeds mean %d", w.Name, w.WallNsBest, w.WallNsMean)

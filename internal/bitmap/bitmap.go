@@ -31,6 +31,27 @@ func (s *Set) Add(i int) {
 	s.words[i>>6] |= 1 << uint(i&63)
 }
 
+// Flip toggles row i by XOR — the delta-maintenance primitive: XOR-ing a
+// row in when it arrives and XOR-ing it out when it leaves keeps a bitmap
+// equal to a from-scratch rebuild without ever scanning the column.
+func (s *Set) Flip(i int) {
+	s.words[i>>6] ^= 1 << uint(i&63)
+}
+
+// Equal reports whether two sets have the same universe and identical
+// bits — the bit-identity check the incremental-index tests assert.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports whether row i is present.
 func (s *Set) Contains(i int) bool {
 	return s.words[i>>6]&(1<<uint(i&63)) != 0

@@ -1,0 +1,151 @@
+package bitmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/dataset"
+)
+
+func TestFlip(t *testing.T) {
+	s := New(130)
+	s.Flip(0)
+	s.Flip(129)
+	if !s.Contains(0) || !s.Contains(129) || s.Count() != 2 {
+		t.Fatalf("after flips on: count=%d", s.Count())
+	}
+	s.Flip(0)
+	if s.Contains(0) || s.Count() != 1 {
+		t.Fatalf("flip did not toggle off")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(7)
+	b.Add(7)
+	if !a.Equal(b) {
+		t.Fatal("identical sets not equal")
+	}
+	b.Add(63)
+	if a.Equal(b) {
+		t.Fatal("different sets equal")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("different universes equal")
+	}
+}
+
+// TestDeltaIndexMatchesRebuild drives a ring buffer of random rows through
+// a DeltaIndex — including wrap-around overwrites — and asserts, at many
+// points, that Materialize is bit-identical to NewIndex over the snapshot
+// dataset assembled from the same ring contents.
+func TestDeltaIndexMatchesRebuild(t *testing.T) {
+	const window = 37 // odd, not a multiple of 64: exercises partial words
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		catVals := []string{"a", "b", "c", "d"}
+		groups := []string{"g0", "g1", "g2"}
+
+		di := NewDeltaIndex(window, 2)
+		ringCat := [2][]string{make([]string, window), make([]string, window)}
+		ringGrp := make([]string, window)
+		start, count := 0, 0
+
+		for step := 0; step < 150; step++ {
+			pos := (start + count) % window
+			had := count == window
+			if had {
+				start = (start + 1) % window
+			} else {
+				count++
+			}
+			for c := 0; c < 2; c++ {
+				v := catVals[rng.Intn(len(catVals))]
+				di.UpdateCat(c, pos, ringCat[c][pos], v, had)
+				ringCat[c][pos] = v
+			}
+			g := groups[rng.Intn(len(groups))]
+			di.UpdateGroup(pos, ringGrp[pos], g, had)
+			ringGrp[pos] = g
+
+			if step%7 != 0 || count < 2 {
+				continue
+			}
+			// Assemble the snapshot in window order, like stream.Monitor.
+			cols := [2][]string{}
+			grp := make([]string, count)
+			for c := 0; c < 2; c++ {
+				cols[c] = make([]string, count)
+			}
+			for i := 0; i < count; i++ {
+				p := (start + i) % window
+				cols[0][i], cols[1][i] = ringCat[0][p], ringCat[1][p]
+				grp[i] = ringGrp[p]
+			}
+			b := dataset.NewBuilder("ring")
+			b.AddCategorical("c0", cols[0])
+			b.AddCategorical("c1", cols[1])
+			b.SetGroups(grp)
+			d, err := b.Build()
+			if err != nil {
+				continue // single group in window: not mineable, nothing to compare
+			}
+			got := di.Materialize(d, start, count, []int{0, 1})
+			want := NewIndex(d)
+			if !EqualIndex(got, want) {
+				t.Fatalf("seed %d step %d: materialized delta index differs from rebuild", seed, step)
+			}
+		}
+	}
+}
+
+func TestEqualIndexDetectsDifference(t *testing.T) {
+	mk := func(flip bool) *Index {
+		b := dataset.NewBuilder("d")
+		b.AddCategorical("c", []string{"x", "y", "x", "y"})
+		g := []string{"a", "a", "b", "b"}
+		if flip {
+			g = []string{"a", "b", "a", "b"}
+		}
+		b.SetGroups(g)
+		return NewIndex(b.MustBuild())
+	}
+	if !EqualIndex(mk(false), mk(false)) {
+		t.Fatal("identical indexes not equal")
+	}
+	if EqualIndex(mk(false), mk(true)) {
+		t.Fatal("different indexes equal")
+	}
+}
+
+// BenchmarkDeltaMaintain measures the per-append maintenance cost, which
+// must not scale with window size (only with columns).
+func BenchmarkDeltaMaintain(b *testing.B) {
+	for _, window := range []int{1024, 8192} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			di := NewDeltaIndex(window, 4)
+			vals := []string{"a", "b", "c"}
+			ring := make([][]string, 4)
+			for c := range ring {
+				ring[c] = make([]string, window)
+			}
+			grp := make([]string, window)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pos := i % window
+				had := i >= window
+				for c := 0; c < 4; c++ {
+					v := vals[(i+c)%len(vals)]
+					di.UpdateCat(c, pos, ring[c][pos], v, had)
+					ring[c][pos] = v
+				}
+				g := vals[i%2]
+				di.UpdateGroup(pos, grp[pos], g, had)
+				grp[pos] = g
+			}
+		})
+	}
+}

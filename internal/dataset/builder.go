@@ -68,6 +68,38 @@ func (b *Builder) AddCategorical(name string, values []string) *Builder {
 	return b
 }
 
+// AddCategoricalCoded appends a categorical attribute from pre-encoded
+// domain codes and their value table — the zero-re-encoding path used when
+// the codes already exist (a stored dataset's segments, a stream monitor's
+// scratch buffers). The codes and domain slices are retained; codes must
+// index into domain (validated by Build). Unlike AddCategorical, the
+// domain's order is preserved exactly as given, so round-trips are
+// bit-identical even when it is not first-appearance order.
+func (b *Builder) AddCategoricalCoded(name string, codes []int, domain []string) *Builder {
+	if !b.checkLen(len(codes), name) {
+		return b
+	}
+	if len(domain) == 0 {
+		b.err = fmt.Errorf("dataset: %s has an empty domain", name)
+		return b
+	}
+	b.d.attrs = append(b.d.attrs, Attr{Name: name, Kind: Categorical, col: len(b.d.catCols)})
+	b.d.catCols = append(b.d.catCols, codes)
+	b.d.catDomains = append(b.d.catDomains, domain)
+	return b
+}
+
+// SetGroupsCoded sets the group column from pre-encoded codes and the
+// group name table, mirroring AddCategoricalCoded. Both slices are
+// retained; codes must index into names (validated by Build).
+func (b *Builder) SetGroupsCoded(codes []int, names []string) *Builder {
+	if !b.checkLen(len(codes), "groups") {
+		return b
+	}
+	b.d.groups, b.d.groupNames = codes, names
+	return b
+}
+
 // SetGroups sets the group label of every row.
 func (b *Builder) SetGroups(labels []string) *Builder {
 	if !b.checkLen(len(labels), "groups") {

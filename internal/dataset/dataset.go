@@ -146,6 +146,27 @@ func (d *Dataset) CatValue(attr, row int) string {
 	return d.catDomains[a.col][d.catCols[a.col][row]]
 }
 
+// CatCodes returns the full code column of a categorical attribute — the
+// dense domain codes in row order. The caller must not modify it. Together
+// with Domain this is the raw columnar content the persistence layer
+// serializes, so a stored dataset round-trips bit-identically (codes and
+// first-appearance domain order are preserved exactly, never re-encoded).
+func (d *Dataset) CatCodes(attr int) []int {
+	a := d.attrs[attr]
+	if a.Kind != Categorical {
+		panic(fmt.Sprintf("dataset: CatCodes on continuous attribute %q", a.Name))
+	}
+	return d.catCols[a.col]
+}
+
+// GroupCodes returns the full group-code column in row order. The caller
+// must not modify it.
+func (d *Dataset) GroupCodes() []int { return d.groups }
+
+// GroupNames returns the group name table indexed by group code. The
+// caller must not modify it.
+func (d *Dataset) GroupNames() []string { return d.groupNames }
+
 // Cont returns the value of a continuous attribute at a row.
 func (d *Dataset) Cont(attr, row int) float64 {
 	a := d.attrs[attr]

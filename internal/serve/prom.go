@@ -136,6 +136,22 @@ func (s *Server) promFamilies() []obs.Family {
 		obs.Gauge("sdadcs_serve_result_cache_entries", "Entries in the result cache.", float64(s.cache.len())),
 		obs.Counter("sdadcs_serve_result_cache_evictions_total", "Result-cache entries dropped by LRU pressure.", float64(s.cache.evicted())),
 	}
+	if s.opts.Store != nil {
+		h := s.opts.Store.Health()
+		cold, demotions, promotions := s.reg.ColdStats()
+		fams = append(fams,
+			obs.Counter("sdadcs_store_wal_appends_total", "Records appended to the dataset store's write-ahead log.", float64(h.WALAppends)),
+			obs.Counter("sdadcs_store_wal_fsyncs_total", "Fsync calls acknowledging WAL records.", float64(h.WALFsyncs)),
+			obs.Counter("sdadcs_store_checkpoints_total", "Checkpoints folding the WAL into fresh segment files.", float64(h.Checkpoints)),
+			obs.Counter("sdadcs_store_recoveries_total", "Store opens that recovered prior on-disk state.", float64(h.Recoveries)),
+			obs.Counter("sdadcs_store_cold_loads_total", "Datasets decoded from cold segment files on demand.", float64(h.ColdLoads)),
+			obs.Counter("sdadcs_store_corrupt_segments_total", "Segment files that failed integrity checks and were quarantined.", float64(h.CorruptSegments)),
+			obs.Gauge("sdadcs_store_datasets_on_disk", "Datasets currently persisted in the store.", float64(h.Datasets)),
+			obs.Gauge("sdadcs_store_cold_datasets", "Registry entries currently demoted to the on-disk cold tier.", float64(cold)),
+			obs.Counter("sdadcs_store_cold_demotions_total", "Registry evictions that became cold-tier demotions.", float64(demotions)),
+			obs.Counter("sdadcs_store_cold_promotions_total", "Cold-tier entries promoted back into memory by demand.", float64(promotions)),
+		)
+	}
 	fams = append(fams, algFamilies(s.mgr.MinerTotals())...)
 	fams = append(fams, obs.REDFamilies("sdadcs_http_", s.httpm)...)
 	fams = append(fams, obs.RuntimeFamilies()...)

@@ -21,6 +21,7 @@ import (
 
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/obs"
+	"sdadcs/internal/store"
 )
 
 // DatasetInfo is the registry's public record of one dataset.
@@ -47,7 +48,16 @@ type dsEntry struct {
 	// Pinned entries are never evicted, so a mine in flight keeps its
 	// dataset addressable for result rendering and explain queries.
 	pins int
-	elem *list.Element // position in the LRU order
+	elem *list.Element // position in the LRU order; nil while cold
+	// cold marks a demoted entry: the dataset lives only in the attached
+	// store's segments (ds == nil), costs no rows against the budget, and
+	// is reloaded on demand by Acquire/Get. With no store attached, cold
+	// entries never exist — eviction deletes outright, as before.
+	cold bool
+	// parse options, kept so a persisted entry's store meta can be
+	// rebuilt; zero-valued for entries registered before a store attach.
+	groupColumn      string
+	forceCategorical []string
 }
 
 // Registry holds parsed datasets, content-hash addressed and LRU-bounded
@@ -70,6 +80,12 @@ type Registry struct {
 	// IndexStats can report total builds across live and evicted entries.
 	indexEvictions     int64
 	indexBuildsEvicted int64
+	// store, when attached, is the persistence backend: registrations are
+	// written through to it, eviction demotes to the cold tier instead of
+	// deleting, and a restart rehydrates cold entries from its manifest.
+	store      *store.Store
+	demotions  int64
+	promotions int64
 }
 
 // NewRegistry builds a registry evicting least-recently-used datasets once
@@ -89,6 +105,49 @@ func (r *Registry) SetLogger(log *slog.Logger) {
 	r.mu.Lock()
 	r.log = obs.Or(log)
 	r.mu.Unlock()
+}
+
+// SetStore attaches the persistence backend and rehydrates: every dataset
+// in the store's manifest appears as a cold registry entry, addressable
+// under the same content hash it had before the restart — no re-upload
+// needed. Call before serving.
+func (r *Registry) SetStore(st *store.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+	for _, m := range st.List() {
+		if _, ok := r.entries[m.ID]; ok {
+			continue
+		}
+		r.entries[m.ID] = &dsEntry{
+			info: DatasetInfo{
+				ID:           m.ID,
+				Name:         m.Name,
+				Rows:         m.Rows,
+				Attrs:        m.Attrs,
+				Groups:       m.Groups,
+				RegisteredAt: m.RegisteredAt,
+			},
+			cold:             true,
+			groupColumn:      m.GroupColumn,
+			forceCategorical: m.ForceCategorical,
+		}
+	}
+	r.log.Info("registry rehydrated from store", "datasets", len(r.entries))
+}
+
+// ColdStats reports the cold-tier lifecycle: how many entries currently
+// live only on disk, how many evictions became demotions, and how many
+// cold entries were promoted back by demand.
+func (r *Registry) ColdStats() (cold int, demotions, promotions int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.cold {
+			cold++
+		}
+	}
+	return cold, r.demotions, r.promotions
 }
 
 // hashDataset derives the content address from the parse-relevant inputs.
@@ -114,11 +173,16 @@ func (r *Registry) Register(name string, csvData []byte, groupColumn string, for
 
 	r.mu.Lock()
 	if e, ok := r.entries[id]; ok {
-		r.order.MoveToFront(e.elem)
+		// A cold entry has no LRU position to touch; its content is already
+		// durable, so re-registration is idempotent without promotion.
+		if !e.cold {
+			r.order.MoveToFront(e.elem)
+		}
 		info := e.info
 		r.mu.Unlock()
 		return info, nil
 	}
+	st := r.store
 	r.mu.Unlock()
 
 	// Parse outside the lock: CSV building is the expensive part and must
@@ -149,13 +213,31 @@ func (r *Registry) Register(name string, csvData []byte, groupColumn string, for
 		RegisteredAt: time.Now().UTC(),
 	}
 
+	// Persist before the entry becomes visible: a registration the caller
+	// saw succeed must survive a crash. Put is idempotent by ID, so a
+	// racing duplicate writes the same segments twice at worst.
+	if st != nil {
+		err := st.Put(d, store.Meta{
+			ID:               id,
+			Name:             name,
+			GroupColumn:      groupColumn,
+			ForceCategorical: forceCategorical,
+			RegisteredAt:     info.RegisteredAt,
+		})
+		if err != nil {
+			return DatasetInfo{}, fmt.Errorf("serve: persisting dataset: %w", err)
+		}
+	}
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.entries[id]; ok { // lost the race: keep the first
-		r.order.MoveToFront(e.elem)
+		if !e.cold {
+			r.order.MoveToFront(e.elem)
+		}
 		return e.info, nil
 	}
-	e := &dsEntry{info: info, ds: d}
+	e := &dsEntry{info: info, ds: d, groupColumn: groupColumn, forceCategorical: forceCategorical}
 	e.elem = r.order.PushFront(id)
 	r.entries[id] = e
 	r.totalRows += info.Rows
@@ -169,8 +251,13 @@ func (r *Registry) Register(name string, csvData []byte, groupColumn string, for
 	return info, nil
 }
 
-// evictLocked drops least-recently-used, unpinned entries until the row
-// budget holds again; keep is never evicted.
+// evictLocked reclaims least-recently-used, unpinned entries until the
+// row budget holds again; keep is never touched. Without a store the
+// victim is deleted outright, as always. With a store attached the victim
+// is *demoted* instead: its dataset (already durable on disk from
+// registration) and bitmap index are released, but the entry stays
+// addressable as a cold-tier record that Acquire/Get reload on demand —
+// eviction stops losing data, it only sheds memory.
 func (r *Registry) evictLocked(keep string) {
 	if r.budget <= 0 {
 		return
@@ -191,7 +278,6 @@ func (r *Registry) evictLocked(keep string) {
 			return // everything else pinned or only the newcomer left
 		}
 		r.order.Remove(victim.elem)
-		delete(r.entries, victim.info.ID)
 		r.totalRows -= victim.info.Rows
 		r.evictions++
 		// Drop the attached bitmap index with the dataset: completed jobs
@@ -202,6 +288,23 @@ func (r *Registry) evictLocked(keep string) {
 			r.indexEvictions++
 			r.indexBuildsEvicted += victim.ds.Index().Builds()
 		}
+		onDisk := false
+		if r.store != nil {
+			_, onDisk = r.store.Get(victim.info.ID)
+		}
+		if onDisk {
+			victim.ds = nil
+			victim.elem = nil
+			victim.cold = true
+			r.demotions++
+			r.log.Info("dataset demoted to cold tier",
+				"dataset_id", victim.info.ID,
+				"rows", victim.info.Rows,
+				"dropped_index", droppedIndex,
+				"total_rows", r.totalRows)
+			continue
+		}
+		delete(r.entries, victim.info.ID)
 		r.log.Info("dataset evicted",
 			"dataset_id", victim.info.ID,
 			"rows", victim.info.Rows,
@@ -210,16 +313,68 @@ func (r *Registry) evictLocked(keep string) {
 	}
 }
 
+// hotEntry returns the entry for id with its dataset resident, promoting
+// it from the cold tier when necessary. On ok the registry lock is HELD
+// (the caller touches LRU/pins, then unlocks); on !ok it is released. The
+// cold load runs outside the lock — segment decoding is the expensive
+// part — with a re-check afterwards: a racing promoter's entry wins, and
+// the loser's decode is discarded.
+func (r *Registry) hotEntry(id string) (*dsEntry, bool) {
+	r.mu.Lock()
+	for {
+		e, ok := r.entries[id]
+		if !ok {
+			r.mu.Unlock()
+			return nil, false
+		}
+		if !e.cold {
+			return e, true
+		}
+		st := r.store
+		r.mu.Unlock()
+		d, _, err := st.Load(id)
+		r.mu.Lock()
+		if err != nil {
+			// A corrupt segment was quarantined by the store; forget the
+			// cold entry so the miss is stable rather than a retry loop.
+			if e2, ok := r.entries[id]; ok && e2.cold {
+				delete(r.entries, id)
+			}
+			r.log.Warn("cold dataset load failed",
+				"dataset_id", id, "error", err.Error())
+			r.mu.Unlock()
+			return nil, false
+		}
+		e2, ok := r.entries[id]
+		if !ok {
+			r.mu.Unlock()
+			return nil, false
+		}
+		if !e2.cold {
+			return e2, true // lost the promotion race: use the winner's copy
+		}
+		e2.ds = d
+		e2.cold = false
+		e2.info.Rows = d.Rows() // appended rows folded in by the store
+		e2.elem = r.order.PushFront(id)
+		r.totalRows += e2.info.Rows
+		r.promotions++
+		r.log.Info("dataset promoted from cold tier",
+			"dataset_id", id, "rows", e2.info.Rows, "total_rows", r.totalRows)
+		r.evictLocked(id)
+		return e2, true
+	}
+}
+
 // Acquire returns the dataset and pins it against eviction; the returned
 // release function must be called exactly once when the caller (a job) is
 // finished with it.
 func (r *Registry) Acquire(id string) (*dataset.Dataset, DatasetInfo, func(), bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.entries[id]
+	e, ok := r.hotEntry(id)
 	if !ok {
 		return nil, DatasetInfo{}, nil, false
 	}
+	defer r.mu.Unlock()
 	r.order.MoveToFront(e.elem)
 	e.pins++
 	var once sync.Once
@@ -235,17 +390,18 @@ func (r *Registry) Acquire(id string) (*dataset.Dataset, DatasetInfo, func(), bo
 
 // Get returns the dataset without pinning (read-only peek; touches LRU).
 func (r *Registry) Get(id string) (*dataset.Dataset, DatasetInfo, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.entries[id]
+	e, ok := r.hotEntry(id)
 	if !ok {
 		return nil, DatasetInfo{}, false
 	}
+	defer r.mu.Unlock()
 	r.order.MoveToFront(e.elem)
 	return e.ds, e.info, true
 }
 
-// List returns the registered datasets, most recently used first.
+// List returns the registered datasets: hot entries most recently used
+// first, then cold-tier entries by registration time (a deterministic
+// order — cold entries have no LRU position).
 func (r *Registry) List() []DatasetInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -253,7 +409,19 @@ func (r *Registry) List() []DatasetInfo {
 	for el := r.order.Front(); el != nil; el = el.Next() {
 		out = append(out, r.entries[el.Value.(string)].info)
 	}
-	return out
+	var cold []DatasetInfo
+	for _, e := range r.entries {
+		if e.cold {
+			cold = append(cold, e.info)
+		}
+	}
+	sort.Slice(cold, func(i, j int) bool {
+		if !cold[i].RegisteredAt.Equal(cold[j].RegisteredAt) {
+			return cold[i].RegisteredAt.Before(cold[j].RegisteredAt)
+		}
+		return cold[i].ID < cold[j].ID
+	})
+	return append(out, cold...)
 }
 
 // Stats reports the registry occupancy.
@@ -274,6 +442,9 @@ func (r *Registry) IndexStats() (cached int, builds, evictions int64) {
 	defer r.mu.Unlock()
 	builds = r.indexBuildsEvicted
 	for _, e := range r.entries {
+		if e.cold {
+			continue // no dataset resident, no index
+		}
 		ix := e.ds.Index()
 		if ix.Loaded() {
 			cached++

@@ -8,6 +8,7 @@ import (
 
 	"sdadcs/internal/metrics"
 	"sdadcs/internal/obs"
+	"sdadcs/internal/store"
 )
 
 // Options sizes the service. The zero value is usable.
@@ -35,6 +36,12 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// handler (default off: profiling endpoints are operator surface).
 	EnablePprof bool
+	// Store is the optional persistence backend (cmd/serve -data-dir):
+	// registrations are written through to it, the registry rehydrates
+	// from it at boot, and LRU eviction demotes datasets to its cold
+	// on-disk tier instead of dropping them. Nil keeps the fully
+	// in-memory behavior unchanged.
+	Store *store.Store
 }
 
 func (o *Options) defaults() {
@@ -100,8 +107,28 @@ type ServerMetrics struct {
 	CacheHits          int64 `json:"cache_hits"`
 	DedupHits          int64 `json:"dedup_hits"`
 	ResultCacheEntries int   `json:"result_cache_entries"`
+	// Store reports the persistence backend's durability counters and the
+	// registry's cold-tier lifecycle. Omitted entirely when the server has
+	// no store attached, keeping the no-persistence JSON byte-compatible.
+	Store *StoreHealth `json:"store,omitempty"`
 	// Active maps running job IDs to their live mining snapshots.
 	Active map[string]metrics.Snapshot `json:"active,omitempty"`
+}
+
+// StoreHealth is the persistence slice of ServerMetrics: the store's WAL,
+// checkpoint, recovery and corruption counters plus the registry's
+// cold-tier demotion/promotion lifecycle.
+type StoreHealth struct {
+	WALAppends      uint64 `json:"store_wal_appends_total"`
+	WALFsyncs       uint64 `json:"store_wal_fsyncs_total"`
+	Checkpoints     uint64 `json:"store_checkpoints_total"`
+	Recoveries      uint64 `json:"store_recoveries_total"`
+	ColdLoads       uint64 `json:"store_cold_loads_total"`
+	CorruptSegments uint64 `json:"store_corrupt_segments_total"`
+	DatasetsOnDisk  int    `json:"store_datasets_on_disk"`
+	ColdDatasets    int    `json:"cold_datasets"`
+	Demotions       int64  `json:"cold_demotions_total"`
+	Promotions      int64  `json:"cold_promotions_total"`
 }
 
 // Server ties the registry, job manager and result cache together behind
@@ -127,6 +154,9 @@ func New(opts Options) *Server {
 	c := &counters{}
 	reg := NewRegistry(opts.RowBudget)
 	reg.SetLogger(log.With("component", "serve.registry"))
+	if opts.Store != nil {
+		reg.SetStore(opts.Store)
+	}
 	cache := newResultCache(opts.CacheEntries)
 	s := &Server{
 		opts:     opts,
@@ -209,6 +239,22 @@ func (s *Server) Metrics() ServerMetrics {
 		CacheHits:          s.counters.cacheHits.Load(),
 		DedupHits:          s.counters.dedupHits.Load(),
 		ResultCacheEntries: s.cache.len(),
+	}
+	if s.opts.Store != nil {
+		h := s.opts.Store.Health()
+		cold, demotions, promotions := s.reg.ColdStats()
+		m.Store = &StoreHealth{
+			WALAppends:      h.WALAppends,
+			WALFsyncs:       h.WALFsyncs,
+			Checkpoints:     h.Checkpoints,
+			Recoveries:      h.Recoveries,
+			ColdLoads:       h.ColdLoads,
+			CorruptSegments: h.CorruptSegments,
+			DatasetsOnDisk:  h.Datasets,
+			ColdDatasets:    cold,
+			Demotions:       demotions,
+			Promotions:      promotions,
+		}
 	}
 	for _, j := range s.mgr.Jobs() {
 		if snap, ok := j.liveMetrics(); ok {

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sdadcs/internal/dataset"
+)
+
+// FuzzSegmentReader throws arbitrary bytes at DecodeSegments: it must
+// never panic or over-allocate, and anything it accepts must be a valid
+// dataset whose re-encoding decodes again. Seeded with real segment
+// files and targeted corruptions of them so the fuzzer starts deep inside
+// the format instead of at the magic check.
+func FuzzSegmentReader(f *testing.F) {
+	d, err := dataset.FromCSV(strings.NewReader(sampleCSV), dataset.CSVOptions{
+		GroupColumn:      "status",
+		ForceCategorical: []string{"machine"},
+		Name:             "sample",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := EncodeSegments(d, sampleMeta())
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	f.Add([]byte(segMagic + trailerMagic))
+	for _, off := range []int{8, 9, 20, len(valid) / 2, len(valid) - 10, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), valid...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, m, err := DecodeSegments(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-corrupt error from decode: %v", err)
+			}
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoded dataset fails validation: %v", err)
+		}
+		if got.Rows() != m.Rows {
+			t.Fatalf("decoded %d rows, meta says %d", got.Rows(), m.Rows)
+		}
+		if _, _, err := DecodeSegments(EncodeSegments(got, m)); err != nil {
+			t.Fatalf("re-encoded accepted dataset fails decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,502 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sdadcs/internal/dataset"
+)
+
+const sampleCSV = `temp,pressure,machine,site,status
+20.1,1.5,m1,north,ok
+21.7,?,m2,north,fail
+19.9,1.4,m1,south,ok
+25.0,1.9,m3,south,fail
+22.2,1.6,m2,north,ok
+20.0,1.5,m3,south,fail
+`
+
+func sampleDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromCSV(strings.NewReader(sampleCSV), dataset.CSVOptions{
+		GroupColumn:      "status",
+		ForceCategorical: []string{"machine"},
+		Name:             "sample",
+	})
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	return d
+}
+
+func sampleMeta() Meta {
+	return Meta{
+		ID:               "ds_0011223344556677",
+		Name:             "sample",
+		GroupColumn:      "status",
+		ForceCategorical: []string{"machine"},
+		RegisteredAt:     time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// requireSameDataset asserts bit-identity: schema, domains in order,
+// codes, float bit patterns (NaN included), and group coding.
+func requireSameDataset(t *testing.T, want, got *dataset.Dataset) {
+	t.Helper()
+	if got.Name() != want.Name() {
+		t.Fatalf("name %q, want %q", got.Name(), want.Name())
+	}
+	if got.Rows() != want.Rows() || got.NumAttrs() != want.NumAttrs() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows(), got.NumAttrs(), want.Rows(), want.NumAttrs())
+	}
+	for i := 0; i < want.NumAttrs(); i++ {
+		wa, ga := want.Attr(i), got.Attr(i)
+		if wa.Name != ga.Name || wa.Kind != ga.Kind {
+			t.Fatalf("attr %d: %v/%v, want %v/%v", i, ga.Name, ga.Kind, wa.Name, wa.Kind)
+		}
+		if wa.Kind == dataset.Continuous {
+			wc, gc := want.ContColumn(i), got.ContColumn(i)
+			for r := range wc {
+				if math.Float64bits(wc[r]) != math.Float64bits(gc[r]) {
+					t.Fatalf("attr %d row %d: %v, want %v (bit-level)", i, r, gc[r], wc[r])
+				}
+			}
+			continue
+		}
+		wd, gd := want.Domain(i), got.Domain(i)
+		if len(wd) != len(gd) {
+			t.Fatalf("attr %d domain size %d, want %d", i, len(gd), len(wd))
+		}
+		for c := range wd {
+			if wd[c] != gd[c] {
+				t.Fatalf("attr %d domain[%d] %q, want %q", i, c, gd[c], wd[c])
+			}
+		}
+		wcodes, gcodes := want.CatCodes(i), got.CatCodes(i)
+		for r := range wcodes {
+			if wcodes[r] != gcodes[r] {
+				t.Fatalf("attr %d code row %d: %d, want %d", i, r, gcodes[r], wcodes[r])
+			}
+		}
+	}
+	if got.NumGroups() != want.NumGroups() {
+		t.Fatalf("groups %d, want %d", got.NumGroups(), want.NumGroups())
+	}
+	for g := 0; g < want.NumGroups(); g++ {
+		if got.GroupName(g) != want.GroupName(g) {
+			t.Fatalf("group %d name %q, want %q", g, got.GroupName(g), want.GroupName(g))
+		}
+	}
+	for r := 0; r < want.Rows(); r++ {
+		if got.Group(r) != want.Group(r) {
+			t.Fatalf("group row %d: %d, want %d", r, got.Group(r), want.Group(r))
+		}
+	}
+}
+
+// TestSegmentRoundTripGolden is the golden bit-identity test: a freshly
+// parsed CSV encoded to segments and decoded back must match the original
+// exactly — codes, first-appearance domain order, NaN bit patterns,
+// group coding.
+func TestSegmentRoundTripGolden(t *testing.T) {
+	d := sampleDataset(t)
+	data := EncodeSegments(d, sampleMeta())
+	got, m, err := DecodeSegments(data)
+	if err != nil {
+		t.Fatalf("DecodeSegments: %v", err)
+	}
+	requireSameDataset(t, d, got)
+	if m.ID != sampleMeta().ID || m.Rows != d.Rows() || m.GroupColumn != "status" {
+		t.Fatalf("meta round-trip: %+v", m)
+	}
+	if len(m.Groups) != 2 || m.Groups[0] != "ok" || m.Groups[1] != "fail" {
+		t.Fatalf("meta groups %v", m.Groups)
+	}
+	// NaN must survive: pressure row 1 was "?".
+	pressure := got.AttrIndex("pressure")
+	if !math.IsNaN(got.Cont(pressure, 1)) {
+		t.Fatalf("NaN did not survive round trip: %v", got.Cont(pressure, 1))
+	}
+}
+
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s.Health().Recoveries != 0 {
+		t.Fatalf("fresh open counted a recovery")
+	}
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(d, m); err != nil { // idempotent
+		t.Fatalf("second Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if h := s2.Health(); h.Recoveries != 1 || h.Datasets != 1 {
+		t.Fatalf("health after restart: %+v", h)
+	}
+	list := s2.List()
+	if len(list) != 1 || list[0].ID != m.ID || list[0].Rows != d.Rows() {
+		t.Fatalf("List after restart: %+v", list)
+	}
+	got, gm, err := s2.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	requireSameDataset(t, d, got)
+	if gm.Name != "sample" {
+		t.Fatalf("meta name %q", gm.Name)
+	}
+	if s2.Health().ColdLoads != 1 {
+		t.Fatalf("cold loads: %d", s2.Health().ColdLoads)
+	}
+}
+
+func TestAppendCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+	batch := &RowBatch{
+		Cont:   [][]float64{{30.5, math.NaN()}, {2.0, 2.1}},
+		Cat:    [][]string{{"m4", "m1"}, {"west", "north"}},
+		Groups: []string{"ok", "degraded"},
+	}
+
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Append(m.ID, batch); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Append("ds_missing", batch); err == nil {
+		t.Fatalf("append to unknown dataset succeeded")
+	}
+	want, err := appendRows(d, batch)
+	if err != nil {
+		t.Fatalf("appendRows: %v", err)
+	}
+
+	// Before any checkpoint: Load replays the pending batch.
+	got, gm, err := s.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	requireSameDataset(t, want, got)
+	if gm.Rows != d.Rows()+2 {
+		t.Fatalf("meta rows %d, want %d", gm.Rows, d.Rows()+2)
+	}
+
+	// Restart without checkpoint: the WAL alone must reconstruct it.
+	s.Close()
+	s2, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, _, err = s2.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load after restart: %v", err)
+	}
+	requireSameDataset(t, want, got)
+
+	// Checkpoint folds the batch into fresh segments and empties the WAL.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if h := s2.Health(); h.Checkpoints != 1 {
+		t.Fatalf("checkpoints: %d", h.Checkpoints)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not truncated after checkpoint: %v %d", err, fi.Size())
+	}
+	s2.Close()
+
+	s3, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen after checkpoint: %v", err)
+	}
+	defer s3.Close()
+	got, _, err = s3.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load from checkpointed segments: %v", err)
+	}
+	requireSameDataset(t, want, got)
+}
+
+// TestTornWALTail simulates a crash mid-append: a truncated record at the
+// WAL's tail. Recovery must keep every record before the tear and
+// truncate the torn bytes.
+func TestTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+	batch := &RowBatch{
+		Cont:   [][]float64{{30.5}, {2.0}},
+		Cat:    [][]string{{"m4"}, {"west"}},
+		Groups: []string{"ok"},
+	}
+
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Append(m.ID, batch); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+
+	// Tear the tail: append a valid-looking record header whose payload
+	// never made it to disk.
+	walPath := filepath.Join(dir, walName)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, full...), []byte{0x31, 0x4C, 0x57, 0x53, recAppend, 0xFF, 0x00, 0x00, 0x00, 0xDE, 0xAD}...)
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if h := s2.Health(); h.Recoveries != 1 {
+		t.Fatalf("recoveries: %d", h.Recoveries)
+	}
+	// Everything before the tear survived.
+	want, _ := appendRows(d, batch)
+	got, _, err := s2.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	requireSameDataset(t, want, got)
+	// And the file itself was truncated back to the intact prefix.
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(full) {
+		t.Fatalf("wal is %d bytes after recovery, want %d", len(after), len(full))
+	}
+}
+
+// TestBitFlipQuarantine flips one payload byte in a segment file: the CRC
+// catches it at load time, the file is quarantined, and the store keeps
+// working — the failure is a typed, non-fatal error.
+func TestBitFlipQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	segPath := filepath.Join(dir, m.ID+segSuffix)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+20] ^= 0x40 // inside the first column's payload
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = s.Load(m.ID)
+	if err == nil {
+		t.Fatalf("load of bit-flipped segment succeeded")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v is not ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.ID != m.ID {
+		t.Fatalf("error %v is not a *CorruptError for %s", err, m.ID)
+	}
+	if h := s.Health(); h.CorruptSegments != 1 || h.Datasets != 0 {
+		t.Fatalf("health after quarantine: %+v", h)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, m.ID+segSuffix)); err != nil {
+		t.Fatalf("segment not quarantined: %v", err)
+	}
+	if _, err := os.Stat(segPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt segment still in place: %v", err)
+	}
+	// The store still accepts new work.
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put after quarantine: %v", err)
+	}
+	if _, _, err := s.Load(m.ID); err != nil {
+		t.Fatalf("Load after re-Put: %v", err)
+	}
+	s.Close()
+
+	// The quarantine is durable: a restart does not resurrect the old meta
+	// twice or trip over the quarantined file.
+	s2, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if len(s2.List()) != 1 {
+		t.Fatalf("List after restart: %+v", s2.List())
+	}
+}
+
+// TestCheckpointKilledMidRename simulates dying between writing the
+// manifest temp file and the atomic rename: recovery removes the orphan
+// temp and reconstructs state from the previous manifest plus the WAL.
+func TestCheckpointKilledMidRename(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Close()
+
+	// The stranded temp files of an interrupted checkpoint.
+	for _, name := range []string{manifestName + ".tmp", m.ID + segSuffix + ".tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	for _, name := range []string{manifestName + ".tmp", m.ID + segSuffix + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s not removed by recovery: %v", name, err)
+		}
+	}
+	got, _, err := s2.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	requireSameDataset(t, d, got)
+}
+
+func TestDeleteSurvivesRestartAndSweep(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+
+	s, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Delete(m.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if len(s.List()) != 0 {
+		t.Fatalf("List after delete: %+v", s.List())
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if len(s2.List()) != 0 {
+		t.Fatalf("deleted dataset resurrected: %+v", s2.List())
+	}
+}
+
+// TestAutomaticCheckpoint drives enough WAL records through the store to
+// trip the CheckpointEvery threshold.
+func TestAutomaticCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDataset(t)
+	m := sampleMeta()
+	batch := &RowBatch{
+		Cont:   [][]float64{{1}, {2}},
+		Cat:    [][]string{{"m1"}, {"north"}},
+		Groups: []string{"ok"},
+	}
+
+	s, err := Open(dir, Options{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put(d, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Append(m.ID, batch); err != nil {
+		t.Fatalf("Append 1: %v", err)
+	}
+	if err := s.Append(m.ID, batch); err != nil {
+		t.Fatalf("Append 2: %v", err)
+	}
+	if h := s.Health(); h.Checkpoints != 1 {
+		t.Fatalf("checkpoints after threshold: %+v", h)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("manifest missing after automatic checkpoint: %v", err)
+	}
+	// Appended rows were folded into segments; Load must still see them.
+	got, gm, err := s.Load(m.ID)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if gm.Rows != d.Rows()+2 || got.Rows() != d.Rows()+2 {
+		t.Fatalf("rows after fold: meta %d dataset %d", gm.Rows, got.Rows())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      []byte("SDSEG"),
+		"bad magic":  []byte("NOTASEGMENTFILE_AT_ALL__________"),
+		"no trailer": append([]byte(segMagic), make([]byte, 64)...),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeSegments(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not ErrCorrupt", name, err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"sdadcs/internal/bitmap"
 	"sdadcs/internal/core"
 	"sdadcs/internal/dataset"
 	"sdadcs/internal/pattern"
@@ -52,6 +53,12 @@ type Config struct {
 	// flicker across the largeness threshold between windows; an alerting
 	// floor keeps the event stream to changes worth acting on.
 	MinEventScore float64
+	// DisableIncrementalIndex turns off the delta-maintained bitmap index
+	// (see bitmap.DeltaIndex): every re-mine then rebuilds the index from
+	// the snapshot, as before. The incremental path is asserted
+	// bit-identical to the rebuild, so this is an escape hatch, not a
+	// correctness trade.
+	DisableIncrementalIndex bool
 	// Mining configures the underlying miner (zero value = paper
 	// defaults).
 	Mining core.Config
@@ -179,6 +186,29 @@ type Monitor struct {
 	curData   *dataset.Dataset
 	mines     int
 	skipped   int
+
+	// delta is the incrementally-maintained bitmap index over ring
+	// positions: Append XOR-flips the departing and arriving rows' bits,
+	// and remine materializes it into the snapshot's code space instead of
+	// rebuilding per-value bitmaps from scratch. Nil when disabled.
+	delta *bitmap.DeltaIndex
+
+	// snapBufs are the double-buffered snapshot scratch columns. remine
+	// alternates between the two so the previous snapshot dataset — which
+	// diff still reads via curData — is never overwritten while in use;
+	// only two snapshots are ever live at once. The public Snapshot method
+	// still allocates fresh copies (callers may retain them).
+	snapBufs [2]snapBuf
+	snapCur  int
+	encIdx   map[string]int // reused string→code scratch, cleared per column
+}
+
+// snapBuf holds one generation of snapshot scratch: per-column backing
+// arrays of capacity WindowSize that snapshots slice to the live count.
+type snapBuf struct {
+	cont [][]float64
+	cat  [][]int
+	grp  []int
 }
 
 // NewMonitor builds a monitor for the schema. A malformed configuration
@@ -202,6 +232,21 @@ func NewMonitor(schema Schema, cfg Config) (*Monitor, error) {
 	for i := range m.cat {
 		m.cat[i] = make([]string, cfg.WindowSize)
 	}
+	if !cfg.DisableIncrementalIndex {
+		m.delta = bitmap.NewDeltaIndex(cfg.WindowSize, len(schema.Categorical))
+	}
+	for b := range m.snapBufs {
+		m.snapBufs[b].cont = make([][]float64, len(schema.Continuous))
+		m.snapBufs[b].cat = make([][]int, len(schema.Categorical))
+		for i := range m.snapBufs[b].cont {
+			m.snapBufs[b].cont[i] = make([]float64, cfg.WindowSize)
+		}
+		for i := range m.snapBufs[b].cat {
+			m.snapBufs[b].cat[i] = make([]int, cfg.WindowSize)
+		}
+		m.snapBufs[b].grp = make([]int, cfg.WindowSize)
+	}
+	m.encIdx = make(map[string]int)
 	return m, nil
 }
 
@@ -227,7 +272,8 @@ func (m *Monitor) Append(cont []float64, cat []string, group string) ([]Event, e
 			len(cont), len(cat), len(m.schema.Continuous), len(m.schema.Categorical))
 	}
 	pos := (m.start + m.count) % m.cfg.WindowSize
-	if m.count == m.cfg.WindowSize {
+	had := m.count == m.cfg.WindowSize // pos holds the row being evicted
+	if had {
 		m.start = (m.start + 1) % m.cfg.WindowSize // evict oldest
 	} else {
 		m.count++
@@ -236,7 +282,13 @@ func (m *Monitor) Append(cont []float64, cat []string, group string) ([]Event, e
 		m.cont[i][pos] = v
 	}
 	for i, v := range cat {
+		if m.delta != nil {
+			m.delta.UpdateCat(i, pos, m.cat[i][pos], v, had)
+		}
 		m.cat[i][pos] = v
+	}
+	if m.delta != nil {
+		m.delta.UpdateGroup(pos, m.groups[pos], group, had)
 	}
 	m.groups[pos] = group
 
@@ -283,6 +335,74 @@ func (m *Monitor) Snapshot() *dataset.Dataset {
 	return d
 }
 
+// encodeInto writes first-appearance-order domain codes for the window's
+// rows of ring column col into codes (scratch, sliced to count) and
+// returns the codes plus the freshly-built domain. The scratch map is
+// cleared and reused across columns; the domain is allocated fresh every
+// snapshot — it is retained by the dataset, and its size tracks distinct
+// values, not the window. The coding matches dataset.Builder's encode
+// exactly, so buffered snapshots are bit-identical to Snapshot's.
+func (m *Monitor) encodeInto(col []string, codes []int) ([]int, []string) {
+	clear(m.encIdx)
+	var domain []string
+	out := codes[:m.count]
+	for i := 0; i < m.count; i++ {
+		v := col[(m.start+i)%m.cfg.WindowSize]
+		c, ok := m.encIdx[v]
+		if !ok {
+			c = len(domain)
+			m.encIdx[v] = c
+			domain = append(domain, v)
+		}
+		out[i] = c
+	}
+	return out, domain
+}
+
+// snapshotBuffered materializes the window into the next scratch buffer
+// generation instead of allocating fresh columns — the per-re-mine
+// allocation cost stops scaling with window size (only domains and the
+// dataset shell are allocated). The previous snapshot, still referenced
+// by curData for diffing, lives in the other buffer and stays intact.
+func (m *Monitor) snapshotBuffered() *dataset.Dataset {
+	if m.count == 0 {
+		return nil
+	}
+	buf := &m.snapBufs[m.snapCur]
+	m.snapCur = 1 - m.snapCur
+	b := dataset.NewBuilder(m.schema.Name)
+	for i, name := range m.schema.Continuous {
+		out := buf.cont[i][:m.count]
+		for r := 0; r < m.count; r++ {
+			out[r] = m.cont[i][(m.start+r)%m.cfg.WindowSize]
+		}
+		b.AddContinuous(name, out)
+	}
+	for i, name := range m.schema.Categorical {
+		codes, domain := m.encodeInto(m.cat[i], buf.cat[i])
+		b.AddCategoricalCoded(name, codes, domain)
+	}
+	gcodes, gnames := m.encodeInto(m.groups, buf.grp)
+	b.SetGroupsCoded(gcodes, gnames)
+	d, err := b.Build()
+	if err != nil {
+		m.snapCur = 1 - m.snapCur // nothing retained the buffer; reuse it
+		return nil
+	}
+	return d
+}
+
+// catAttrs returns the snapshot attribute index of each delta-tracked
+// categorical column: builders add the continuous columns first, so
+// categorical column i lands at attribute len(Continuous)+i.
+func (m *Monitor) catAttrs() []int {
+	out := make([]int, len(m.schema.Categorical))
+	for i := range out {
+		out[i] = len(m.schema.Continuous) + i
+	}
+	return out
+}
+
 // Current returns the patterns of the latest snapshot.
 func (m *Monitor) Current() []pattern.Contrast { return m.current }
 
@@ -295,10 +415,18 @@ func (m *Monitor) CurrentData() *dataset.Dataset { return m.curData }
 // that cannot be mined surfaces ErrWindowNotMineable (and bumps the
 // skipped-mine stat) instead of silently reporting "no changes".
 func (m *Monitor) remine() ([]Event, error) {
-	d := m.Snapshot()
+	d := m.snapshotBuffered()
 	if d == nil {
 		m.skipped++
 		return nil, ErrWindowNotMineable
+	}
+	if m.delta != nil && m.cfg.Mining.Counting != core.CountingSlice {
+		// Seed the snapshot's index slot with the delta-maintained index —
+		// bit-identical to the rebuild bitmap.Shared would otherwise pay
+		// for — so the mining engine finds it already built.
+		d.Index().LoadOrBuild(func() any {
+			return m.delta.Materialize(d, m.start, m.count, m.catAttrs())
+		})
 	}
 	rec := m.cfg.Mining.Metrics
 	tr := m.cfg.Mining.Trace
