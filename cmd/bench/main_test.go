@@ -46,7 +46,7 @@ func TestQuickRunProducesAllWorkloads(t *testing.T) {
 	if rep.Revision != "test" || rep.Go == "" || rep.CPUs <= 0 {
 		t.Fatalf("environment header incomplete: %+v", rep)
 	}
-	want := []string{"categorical-heavy", "mixed", "wide-continuous", "stucco-bitmap", "serve-throughput", "serve-coldstart"}
+	want := []string{"categorical-heavy", "mixed", "wide-continuous", "stucco-bitmap", "serve-throughput", "serve-coldstart", "stream-incremental"}
 	if len(rep.Workloads) != len(want) {
 		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(want))
 	}
@@ -92,6 +92,15 @@ func TestQuickRunProducesAllWorkloads(t *testing.T) {
 	if rep.Workloads[0].ArenaRecycleRate <= 0 {
 		t.Errorf("categorical-heavy: arena recycle rate = %v, want > 0",
 			rep.Workloads[0].ArenaRecycleRate)
+	}
+	si := rep.Workloads[6]
+	if si.IncNodeEvals <= 0 || si.FullNodeEvals <= si.IncNodeEvals {
+		t.Errorf("stream-incremental node evals: full=%d inc=%d, want full > inc > 0",
+			si.FullNodeEvals, si.IncNodeEvals)
+	}
+	if si.NodeEvalRatio < 1.5 {
+		t.Errorf("stream-incremental node_eval_ratio = %.2f, want >= 1.5 (the CI gate)",
+			si.NodeEvalRatio)
 	}
 }
 

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/pattern"
+)
+
+// This file implements selective re-evaluation on window slide: the
+// incremental-re-mine gate that lets a stream monitor carry node outcomes
+// forward from the previous window instead of re-running the full
+// levelwise search (ROADMAP item 2, the "continuous contrast set mining"
+// shape of Qian et al.).
+//
+// The contract is bit-identity, not approximation. A node outcome is
+// replayed only when the change summary *proves* its inputs are unchanged:
+//
+//   - The dataset fingerprint must match (row count, per-attribute domains
+//     in the same first-appearance code order, group names and sizes, and
+//     the canonical mining config). Domain codes are positional, so a
+//     reordered domain invalidates every cached itemset.
+//   - The level's Bonferroni alpha and — for nodes handed to SDAD-CS — the
+//     top-k threshold observed at level start must equal the cached bits.
+//   - The lookup table must have evolved identically through the previous
+//     level (see remineGate.advanceLevel): SDAD-CS consults table keys that
+//     other, dirty nodes may have inserted, so table divergence poisons
+//     every later cached outcome, even for nodes whose own cover is clean.
+//   - The node's categorical context must be provably untouched: every row
+//     that entered, left, or mutated inside a value's cover increments that
+//     value's touched count (bitmap.DeltaIndex.Touch), so touched == 0 for
+//     every item means the cover holds the same multiset of full rows —
+//     identical group counts, identical continuous projections, identical
+//     SDAD-CS medians.
+//
+// Two cases stay dirty even with clean items. A node with an empty
+// categorical context covers all rows, so any touched row dirties it. And
+// a single-item mixed node under the CLT redundancy rule is dirty because
+// dropping its one categorical item yields range-only subsets whose
+// supports are counted over the full dataset — which the summary does not
+// bound per-range. With two or more clean categorical items every one-drop
+// subset retains a clean item, confining its support to unchanged rows.
+
+// ChangeSummary is the caller-supplied description of what changed in the
+// dataset since the previous RemineState was captured. Touched maps a
+// categorical attribute index (in the *current* dataset's attribute space)
+// to per-value touched-row counts; a value absent from its map was touched
+// zero times, an attribute absent from Touched is treated as unknown (all
+// its values dirty). RowsTouched == 0 asserts the dataset content is
+// row-for-row identical to the previous window.
+//
+// The summary must be truthful: the gate trusts a zero to mean "provably
+// unchanged". The stream monitor builds it from bitmap.DeltaIndex.Touch,
+// which compares full rows (float bits, categorical values, group label).
+type ChangeSummary struct {
+	RowsTouched int
+	Touched     map[int]map[string]int
+}
+
+// CLTSupportBound returns the Eq. 14–16 half-width α·√(a+b) of the CLT
+// band around a pattern's support difference between its extreme groups —
+// the same arithmetic redundantByCLT applies to one-drop subsets, exposed
+// as a reusable bound. The incremental gate uses it as an observability
+// signal: a dirty pattern whose worst-case support shift stays inside this
+// band is a "near-crossing" — a looser, statistically-gated re-mine could
+// have carried it forward, but the bit-identity contract re-counts it.
+func CLTSupportBound(sup pattern.Supports, alpha float64) float64 {
+	x, y := extremeGroups(sup)
+	a := sup.Supp(x) * (1 - sup.Supp(x)) / float64(sup.Size[x])
+	b := sup.Supp(y) * (1 - sup.Supp(y)) / float64(sup.Size[y])
+	return alpha * math.Sqrt(a+b)
+}
+
+// RemineState is the opaque carry-over from one Mine to the next over a
+// sliding window: the dataset fingerprint the cached outcomes were
+// computed against, plus per-level cached node outcomes and lookup-table
+// insert logs. Produced and consumed by MineIncremental; a nil state means
+// "nothing replayable" and yields a plain full mine.
+type RemineState struct {
+	rows    int
+	domains [][]string // per attribute; nil for continuous attributes
+	groups  []string
+	sizes   []int
+	cfgKey  string
+	levels  []remineLevel
+}
+
+// remineLevel caches one processed level: the exact alpha and top-k
+// threshold its nodes were evaluated under, every node's outcome keyed by
+// signature, and the ordered lookup-table keys the level inserted (the
+// table-evolution log).
+type remineLevel struct {
+	alphaBits     uint64
+	thresholdBits uint64
+	nodes         map[string]nodeOutcome
+	inserts       []string
+}
+
+// newRemineState captures the fingerprint of the dataset and config a mine
+// is about to run against; levels are appended as they are processed.
+func newRemineState(d *dataset.Dataset, cfgKey string) *RemineState {
+	s := &RemineState{
+		rows:    d.Rows(),
+		domains: make([][]string, d.NumAttrs()),
+		groups:  make([]string, d.NumGroups()),
+		sizes:   append([]int(nil), d.GroupSizes()...),
+		cfgKey:  cfgKey,
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		if d.Attr(a).Kind != dataset.Categorical {
+			continue
+		}
+		s.domains[a] = append([]string(nil), d.Domain(a)...)
+	}
+	for g := 0; g < d.NumGroups(); g++ {
+		s.groups[g] = d.GroupName(g)
+	}
+	return s
+}
+
+// matches reports whether the state's fingerprint equals the given
+// dataset + config. Snapshot datasets re-assign domain codes in
+// first-appearance order every window, so domains must match value-for-
+// value *in order* — cached itemsets store codes, not strings.
+func (s *RemineState) matches(d *dataset.Dataset, cfgKey string) bool {
+	if s == nil || s.cfgKey != cfgKey || s.rows != d.Rows() ||
+		len(s.domains) != d.NumAttrs() || len(s.groups) != d.NumGroups() {
+		return false
+	}
+	for g, name := range s.groups {
+		if d.GroupName(g) != name {
+			return false
+		}
+	}
+	sizes := d.GroupSizes()
+	for g := range sizes {
+		if sizes[g] != s.sizes[g] {
+			return false
+		}
+	}
+	for a := range s.domains {
+		if d.Attr(a).Kind != dataset.Categorical {
+			if s.domains[a] != nil {
+				return false
+			}
+			continue
+		}
+		dom := d.Domain(a)
+		if len(dom) != len(s.domains[a]) {
+			return false
+		}
+		for i := range dom {
+			if dom[i] != s.domains[a][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nodeSignature is a node's identity across runs: the categorical itemset
+// key plus the continuous attribute list. Itemset keys never contain '#'
+// (they are attr/code/bound tokens joined by '|'), so the separator keeps
+// pure-categorical and mixed signatures disjoint.
+func nodeSignature(nd node) string {
+	if len(nd.contAttrs) == 0 {
+		return nd.catSet.Key()
+	}
+	var b strings.Builder
+	b.WriteString(nd.catSet.Key())
+	for _, a := range nd.contAttrs {
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(a))
+	}
+	return b.String()
+}
+
+// remineGate decides, per node, whether the previous run's cached outcome
+// can be replayed. It also owns the stable/dirty accounting reported
+// through metrics.Recorder.RemineGate.
+type remineGate struct {
+	d      *dataset.Dataset
+	change ChangeSummary
+	prune  Pruning
+
+	// prev is the replay source; nil when the fingerprint did not match
+	// (the gate then only counts — everything is dirty).
+	prev *RemineState
+	// tableOK is the table-evolution invariant: true while the current
+	// run's lookup table is provably identical to the previous run's at
+	// the same point. Once false it stays false.
+	tableOK bool
+	// prevCum accumulates the previous run's table keys through the levels
+	// folded so far.
+	prevCum map[string]struct{}
+
+	stable      int64
+	dirty       int64
+	redescended int64
+	nearCross   int64
+}
+
+// newRemineGate builds the gate for one incremental mine. prev must
+// already be fingerprint-checked (pass nil on mismatch).
+func newRemineGate(d *dataset.Dataset, change ChangeSummary, prune Pruning, prev *RemineState) *remineGate {
+	g := &remineGate{d: d, change: change, prune: prune, prev: prev}
+	if prev != nil {
+		g.tableOK = true
+		g.prevCum = make(map[string]struct{})
+	}
+	return g
+}
+
+// levelReplay is the per-level replay handle: nil when nothing at this
+// level may be replayed (alpha mismatch, table divergence, no cached
+// level).
+type levelReplay struct {
+	gate           *remineGate
+	nodes          map[string]nodeOutcome
+	alpha          float64
+	thresholdMatch bool
+}
+
+// enterLevel checks the level-wide replay preconditions and returns the
+// replay handle, or nil when the whole level must be evaluated fresh. The
+// top-k threshold only gates SDAD-CS nodes (categorical evaluation never
+// reads it), so a mismatch is recorded on the handle rather than failing
+// the level.
+func (g *remineGate) enterLevel(level int, alpha, threshold float64) *levelReplay {
+	if g == nil || g.prev == nil || !g.tableOK || level > len(g.prev.levels) {
+		return nil
+	}
+	pl := &g.prev.levels[level-1]
+	if pl.alphaBits != math.Float64bits(alpha) {
+		return nil
+	}
+	return &levelReplay{
+		gate:           g,
+		nodes:          pl.nodes,
+		alpha:          alpha,
+		thresholdMatch: pl.thresholdBits == math.Float64bits(threshold),
+	}
+}
+
+// outcome returns the cached outcome for the node if it is provably
+// stable; ok == false means evaluate fresh.
+func (lr *levelReplay) outcome(nd node) (nodeOutcome, bool) {
+	if lr == nil {
+		return nodeOutcome{}, false
+	}
+	out, ok := lr.nodes[nodeSignature(nd)]
+	if !ok {
+		return nodeOutcome{}, false
+	}
+	if !lr.gate.stableNode(nd, lr.thresholdMatch) {
+		lr.gate.observeDirty(nd, out, lr.alpha)
+		return nodeOutcome{}, false
+	}
+	return out, true
+}
+
+// stableNode applies the stability rules documented at the top of the
+// file.
+func (g *remineGate) stableNode(nd node, thresholdMatch bool) bool {
+	mixed := len(nd.contAttrs) > 0
+	if g.change.RowsTouched == 0 {
+		// Row-for-row identical window: every cover is unchanged; mixed
+		// nodes still need the threshold their SDAD-CS run saw.
+		return !mixed || thresholdMatch
+	}
+	if nd.catSet.Len() == 0 {
+		// Covers all rows — any touched row is inside the cover.
+		return false
+	}
+	if !g.catSetClean(nd.catSet) {
+		return false
+	}
+	if !mixed {
+		return true
+	}
+	// Mixed node with a clean categorical context: the SDAD-CS run also
+	// reads the top-k threshold, and — under the CLT redundancy rule — the
+	// full-dataset supports of one-drop subsets, which only stay confined
+	// to unchanged rows when at least one clean categorical item remains
+	// after the drop.
+	return thresholdMatch && (nd.catSet.Len() >= 2 || !g.prune.RedundancyCLT)
+}
+
+// catSetClean reports whether every categorical item's value has a zero
+// touched count — i.e. no row carrying the value (before or after its
+// change) was touched, so the value's cover content is unchanged.
+func (g *remineGate) catSetClean(set pattern.Itemset) bool {
+	for i := 0; i < set.Len(); i++ {
+		it := set.Item(i)
+		tm := g.change.Touched[it.Attr]
+		if tm == nil {
+			return false // attribute not tracked: unknown, assume dirty
+		}
+		if tm[g.d.Domain(it.Attr)[it.Code]] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// changeBound returns a conservative upper bound on the number of rows
+// that entered or left the node's categorical cover: every such row
+// changed content and carried each of the node's values before or after,
+// so the smallest per-value touched count bounds the churn. An empty
+// categorical context is bounded only by the total touched rows.
+func (g *remineGate) changeBound(nd node) int {
+	bound := g.change.RowsTouched
+	for i := 0; i < nd.catSet.Len(); i++ {
+		it := nd.catSet.Item(i)
+		tm := g.change.Touched[it.Attr]
+		if tm == nil {
+			continue
+		}
+		if n := tm[g.d.Domain(it.Attr)[it.Code]]; n < bound {
+			bound = n
+		}
+	}
+	return bound
+}
+
+// observeDirty classifies a node that held contrasts last window but must
+// be re-evaluated: if even the worst-case support shift the change bound
+// allows stays inside the Eq. 14–16 CLT band, the re-count exists only to
+// honor the bit-identity contract — counted as a near-crossing so the
+// metrics expose how much slack a statistically-gated mode would buy.
+func (g *remineGate) observeDirty(nd node, out nodeOutcome, alpha float64) {
+	if len(out.contrasts) == 0 {
+		return
+	}
+	bound := g.changeBound(nd)
+	sup := out.contrasts[0].Supports
+	shift := 0.0
+	for _, sz := range sup.Size {
+		if sz > 0 {
+			if s := float64(bound) / float64(sz); s > shift {
+				shift = s
+			}
+		}
+	}
+	if shift <= CLTSupportBound(sup, alpha) {
+		g.nearCross++
+	}
+}
+
+// advanceLevel folds one processed level into the table-evolution
+// invariant. With curTable_{L-1} == prevCum_{L-1} (the running invariant),
+// the current level's table equals the previous run's cumulative table
+// through L iff every key inserted this level already appears in
+// prevCum_L and the sizes agree. Any divergence — including the current
+// run outliving the cached one — permanently disables replay.
+func (g *remineGate) advanceLevel(level int, inserts []string, tableLen int) {
+	if g == nil || g.prev == nil || !g.tableOK {
+		return
+	}
+	if level > len(g.prev.levels) {
+		g.tableOK = false
+		return
+	}
+	for _, k := range g.prev.levels[level-1].inserts {
+		g.prevCum[k] = struct{}{}
+	}
+	if tableLen != len(g.prevCum) {
+		g.tableOK = false
+		return
+	}
+	for _, k := range inserts {
+		if _, ok := g.prevCum[k]; !ok {
+			g.tableOK = false
+			return
+		}
+	}
+}
+
+// count updates the stable/dirty tally for one processed level.
+func (g *remineGate) count(level, stable, total int) {
+	if g == nil {
+		return
+	}
+	dirty := total - stable
+	g.stable += int64(stable)
+	g.dirty += int64(dirty)
+	if level > 1 {
+		// Dirty nodes past level 1 are re-descended subtree members: their
+		// parents survived and the gate still had to re-evaluate them.
+		g.redescended += int64(dirty)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdadcs/internal/dataset"
+	"sdadcs/internal/metrics"
+	"sdadcs/internal/pattern"
+)
+
+// remineDataset builds a deterministic mixed dataset: two categorical
+// columns, one continuous, three groups. mutate shifts the continuous
+// value of every row whose first categorical value is "m1" — the shape of
+// a window slide that dirties one value's cover and nothing else.
+func remineDataset(seed int64, rows int, mutate bool) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cont := make([]float64, rows)
+	machine := make([]string, rows)
+	shift := make([]string, rows)
+	grp := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		machine[i] = fmt.Sprintf("m%d", rng.Intn(3))
+		shift[i] = []string{"day", "night"}[rng.Intn(2)]
+		grp[i] = []string{"ok", "fail", "degraded"}[rng.Intn(3)]
+		cont[i] = rng.NormFloat64()*5 + 20
+		if machine[i] == "m0" {
+			cont[i] += 6 // give the miner real structure to find
+		}
+		if mutate && machine[i] == "m1" {
+			cont[i] += 0.75
+		}
+	}
+	return dataset.NewBuilder("remine").
+		AddContinuous("temp", cont).
+		AddCategorical("machine", machine).
+		AddCategorical("shift", shift).
+		SetGroups(grp).
+		MustBuild()
+}
+
+// assertSameResult compares two mining results bit-for-bit: itemset keys,
+// score/χ²/p float bits, support vectors, order, and search stats.
+func assertSameResult(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if len(a.Contrasts) != len(b.Contrasts) {
+		t.Fatalf("%s: %d contrasts vs %d", label, len(a.Contrasts), len(b.Contrasts))
+	}
+	for i := range a.Contrasts {
+		ca, cb := a.Contrasts[i], b.Contrasts[i]
+		if ca.Set.Key() != cb.Set.Key() ||
+			math.Float64bits(ca.Score) != math.Float64bits(cb.Score) ||
+			math.Float64bits(ca.ChiSq) != math.Float64bits(cb.ChiSq) ||
+			math.Float64bits(ca.P) != math.Float64bits(cb.P) {
+			t.Fatalf("%s: contrast %d differs: %s score=%v vs %s score=%v",
+				label, i, ca.Set.Key(), ca.Score, cb.Set.Key(), cb.Score)
+		}
+		for g := range ca.Supports.Count {
+			if ca.Supports.Count[g] != cb.Supports.Count[g] || ca.Supports.Size[g] != cb.Supports.Size[g] {
+				t.Fatalf("%s: contrast %d supports differ in group %d", label, i, g)
+			}
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, a.Stats, b.Stats)
+	}
+}
+
+// TestMineIncrementalFirstCallMatchesMine: with no previous state the
+// incremental entry point is a plain full mine, and it hands back a state
+// for the next window.
+func TestMineIncrementalFirstCallMatchesMine(t *testing.T) {
+	d := remineDataset(3, 400, false)
+	cfg := Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2}
+	full := Mine(d, cfg)
+	inc, state := MineIncremental(d, cfg, nil, ChangeSummary{RowsTouched: 400})
+	assertSameResult(t, "first call", full, inc)
+	if state == nil {
+		t.Fatal("no state captured")
+	}
+	if len(state.levels) == 0 {
+		t.Fatal("state has no cached levels")
+	}
+}
+
+// TestMineIncrementalZeroChangeReplaysEverything: an unchanged window
+// replays every node — bit-identical result, zero dirty nodes, and no
+// node evaluations beyond the replay bookkeeping.
+func TestMineIncrementalZeroChangeReplaysEverything(t *testing.T) {
+	d := remineDataset(4, 400, false)
+	cfg := Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2}
+	full := Mine(d, cfg)
+	_, state := MineIncremental(d, cfg, nil, ChangeSummary{})
+
+	rec := metrics.New()
+	cfg2 := cfg
+	cfg2.Metrics = rec
+	res, next := MineIncremental(d, cfg2, state, ChangeSummary{})
+	assertSameResult(t, "zero-change replay", full, res)
+	if next == nil {
+		t.Fatal("no follow-up state")
+	}
+	s := rec.Snapshot()
+	if s.GateDirtyNodes != 0 || s.GateStableNodes == 0 {
+		t.Fatalf("zero-change window: stable=%d dirty=%d", s.GateStableNodes, s.GateDirtyNodes)
+	}
+	if s.NodeEval.Count != 0 {
+		t.Fatalf("zero-change window still evaluated %d nodes", s.NodeEval.Count)
+	}
+}
+
+// TestMineIncrementalDirtyValueBitIdentical: mutate one categorical
+// value's rows between windows, report it truthfully, and the incremental
+// mine must match a from-scratch mine of the new window exactly — while
+// actually replaying the untouched part of the frontier.
+func TestMineIncrementalDirtyValueBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2, Workers: workers}
+		prev := remineDataset(5, 400, false)
+		_, state := MineIncremental(prev, cfg, nil, ChangeSummary{})
+
+		cur := remineDataset(5, 400, true) // same rows except machine=m1's temps
+		// A truthful summary: every mutated row carries machine=m1 plus one
+		// shift value, so those values' touched counts are the per-value row
+		// tallies and RowsTouched is the m1 row count.
+		touched := map[int]map[string]int{1: {}, 2: {}}
+		for r := 0; r < cur.Rows(); r++ {
+			if cur.CatValue(1, r) == "m1" {
+				touched[1]["m1"]++
+				touched[2][cur.CatValue(2, r)]++
+			}
+		}
+		change := ChangeSummary{RowsTouched: touched[1]["m1"], Touched: touched}
+
+		rec := metrics.New()
+		cfg2 := cfg
+		cfg2.Metrics = rec
+		res, _ := MineIncremental(cur, cfg2, state, change)
+		assertSameResult(t, fmt.Sprintf("dirty-value workers=%d", workers), Mine(cur, cfg), res)
+		s := rec.Snapshot()
+		if s.GateStableNodes == 0 {
+			t.Fatalf("workers=%d: nothing replayed despite a confined change", workers)
+		}
+		if s.GateDirtyNodes == 0 {
+			t.Fatalf("workers=%d: nothing dirty despite a mutated value", workers)
+		}
+	}
+}
+
+// TestMineIncrementalFingerprintMismatch: a window with different content
+// shape (row count) must not replay anything — and must still be
+// bit-identical to a full mine.
+func TestMineIncrementalFingerprintMismatch(t *testing.T) {
+	cfg := Config{Measure: pattern.SurprisingMeasure, MaxDepth: 2}
+	prev := remineDataset(6, 400, false)
+	_, state := MineIncremental(prev, cfg, nil, ChangeSummary{})
+
+	cur := remineDataset(7, 380, false)
+	rec := metrics.New()
+	cfg2 := cfg
+	cfg2.Metrics = rec
+	res, _ := MineIncremental(cur, cfg2, state, ChangeSummary{})
+	assertSameResult(t, "fingerprint mismatch", Mine(cur, cfg), res)
+	s := rec.Snapshot()
+	if s.GateStableNodes != 0 {
+		t.Fatalf("replayed %d nodes across a fingerprint mismatch", s.GateStableNodes)
+	}
+	if s.GateDirtyNodes == 0 {
+		t.Fatal("gate recorded no dirty nodes")
+	}
+}
+
+// TestCLTSupportBound pins the Eq. 14–16 half-width arithmetic.
+func TestCLTSupportBound(t *testing.T) {
+	sup := pattern.Supports{Count: []int{30, 10}, Size: []int{100, 100}}
+	// supp = 0.3 and 0.1; a = 0.3*0.7/100, b = 0.1*0.9/100.
+	want := 0.05 * math.Sqrt(0.3*0.7/100+0.1*0.9/100)
+	if got := CLTSupportBound(sup, 0.05); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("CLTSupportBound = %v, want %v", got, want)
+	}
+	if CLTSupportBound(sup, 0) != 0 {
+		t.Fatal("zero alpha must give a zero-width band")
+	}
+	if CLTSupportBound(sup, 0.1) <= CLTSupportBound(sup, 0.05) {
+		t.Fatal("band must widen with alpha")
+	}
+}

@@ -52,7 +52,7 @@ func TestDeltaIndexBattery(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: NewMonitor: %v", seed, err)
 		}
-		mined := 0
+		mined, fillChecks := 0, 0
 		for i := 0; i < appends; i++ {
 			cont, cat, group := randomRow(rng)
 			if _, err := m.Append(cont, cat, group); err != nil {
@@ -60,6 +60,9 @@ func TestDeltaIndexBattery(t *testing.T) {
 			}
 			if d := m.CurrentData(); d != nil && m.Mines() > mined {
 				mined = m.Mines()
+				if m.count < window {
+					fillChecks++ // pre-saturation: evictions have not started
+				}
 				got := m.delta.Materialize(d, m.start, m.count, m.catAttrs())
 				want := bitmap.NewIndex(d)
 				if !bitmap.EqualIndex(got, want) {
@@ -70,7 +73,27 @@ func TestDeltaIndexBattery(t *testing.T) {
 		if mined == 0 {
 			t.Fatalf("seed %d: no re-mine ran", seed)
 		}
+		if fillChecks == 0 {
+			// MineEvery < window, so re-mines fire while the window is still
+			// filling: the battery must have compared that regime too, not
+			// just saturated windows.
+			t.Fatalf("seed %d: battery never compared a still-filling window", seed)
+		}
 	}
+}
+
+// noAutoMineMonitor builds a monitor that never auto-mines: Validate now
+// rejects MineEvery > WindowSize, so the snapshot-focused tests construct
+// a valid monitor and then push the cadence out of reach directly
+// (in-package access; Append's guard reads m.cfg live).
+func noAutoMineMonitor(tb testing.TB, window int) *Monitor {
+	tb.Helper()
+	m, err := NewMonitor(testSchema(), Config{WindowSize: window, MineEvery: window})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m.cfg.MineEvery = 1 << 30
+	return m
 }
 
 // TestBufferedSnapshotMatchesFresh: the double-buffered snapshot path and
@@ -78,10 +101,7 @@ func TestDeltaIndexBattery(t *testing.T) {
 // same first-appearance domains, same group coding, same float bits.
 func TestBufferedSnapshotMatchesFresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	m, err := NewMonitor(testSchema(), Config{WindowSize: 32, MineEvery: 1000})
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := noAutoMineMonitor(t, 32)
 	for i := 0; i < 80; i++ { // wraps the window twice
 		cont, cat, group := randomRow(rng)
 		if _, err := m.Append(cont, cat, group); err != nil {
@@ -132,10 +152,7 @@ func TestBufferedSnapshotMatchesFresh(t *testing.T) {
 // buffers must keep the previous snapshot's columns untouched.
 func TestDoubleBufferKeepsPreviousSnapshotIntact(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	m, err := NewMonitor(testSchema(), Config{WindowSize: 16, MineEvery: 1000})
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := noAutoMineMonitor(t, 16)
 	for i := 0; i < 40; i++ {
 		cont, cat, group := randomRow(rng)
 		if _, err := m.Append(cont, cat, group); err != nil {
@@ -221,10 +238,7 @@ func TestIncrementalMatchesDisabled(t *testing.T) {
 // distinct-value domains.
 func BenchmarkSnapshot(b *testing.B) {
 	for _, window := range []int{1024, 8192} {
-		m, err := NewMonitor(testSchema(), Config{WindowSize: window, MineEvery: 1 << 30})
-		if err != nil {
-			b.Fatal(err)
-		}
+		m := noAutoMineMonitor(b, window)
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < window+window/2; i++ {
 			cont, cat, group := randomRow(rng)
@@ -256,10 +270,7 @@ func BenchmarkSnapshot(b *testing.B) {
 // noise between a 1k and an 8k window.
 func TestBufferedSnapshotAllocsDoNotScaleWithWindow(t *testing.T) {
 	perSnapshot := func(window int) float64 {
-		m, err := NewMonitor(testSchema(), Config{WindowSize: window, MineEvery: 1 << 30})
-		if err != nil {
-			t.Fatal(err)
-		}
+		m := noAutoMineMonitor(t, window)
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < window+window/2; i++ {
 			cont, cat, group := randomRow(rng)

@@ -59,6 +59,15 @@ type Config struct {
 	// bit-identical to the rebuild, so this is an escape hatch, not a
 	// correctness trade.
 	DisableIncrementalIndex bool
+	// DisableIncrementalRemine forces every due re-mine to run the full
+	// levelwise search instead of the incremental re-evaluation
+	// (core.MineIncremental) that replays node outcomes the window's
+	// change summary proves unchanged. The incremental path is asserted
+	// bit-identical to the full re-mine, so like the index switch this is
+	// an A/B escape hatch, not a correctness trade. Incremental
+	// re-evaluation rides on the delta index; DisableIncrementalIndex
+	// implies it.
+	DisableIncrementalRemine bool
 	// Mining configures the underlying miner (zero value = paper
 	// defaults).
 	Mining core.Config
@@ -117,6 +126,21 @@ func (c Config) Validate() error {
 	}
 	if c.MineEvery < 0 {
 		bad("MineEvery", c.MineEvery, "re-mine cadence must be positive (0 selects the default)")
+	}
+	if c.MineEvery > 0 && c.WindowSize >= 0 {
+		// Resolve the window the cadence will actually run against (0
+		// selects the documented default). A cadence longer than the window
+		// means whole windows of rows slide past unmined — and before the
+		// cadence-guard fix in Append it silently never mined at all — so
+		// it is rejected as actively malformed rather than defaulted.
+		win := c.WindowSize
+		if win == 0 {
+			win = 2000
+		}
+		if c.MineEvery > win {
+			bad("MineEvery", c.MineEvery,
+				fmt.Sprintf("re-mine cadence cannot exceed the window size (%d): rows would slide past unmined", win))
+		}
 	}
 	if c.DriftDelta < 0 || math.IsNaN(c.DriftDelta) {
 		bad("DriftDelta", c.DriftDelta, "drift threshold must be a non-negative number")
@@ -193,6 +217,15 @@ type Monitor struct {
 	// rebuilding per-value bitmaps from scratch. Nil when disabled.
 	delta *bitmap.DeltaIndex
 
+	// remState is the incremental re-mine carry-over: the previous
+	// window's cached node outcomes (core.RemineState), replayed by the
+	// next re-mine for every node the accumulated change summary proves
+	// unchanged. Nil until the first successful incremental re-mine.
+	remState *core.RemineState
+	// catScratch stages the departing row's categorical values for
+	// delta.Touch without a per-append allocation.
+	catScratch []string
+
 	// snapBufs are the double-buffered snapshot scratch columns. remine
 	// alternates between the two so the previous snapshot dataset — which
 	// diff still reads via curData — is never overwritten while in use;
@@ -234,6 +267,7 @@ func NewMonitor(schema Schema, cfg Config) (*Monitor, error) {
 	}
 	if !cfg.DisableIncrementalIndex {
 		m.delta = bitmap.NewDeltaIndex(cfg.WindowSize, len(schema.Categorical))
+		m.catScratch = make([]string, len(schema.Categorical))
 	}
 	for b := range m.snapBufs {
 		m.snapBufs[b].cont = make([][]float64, len(schema.Continuous))
@@ -278,6 +312,44 @@ func (m *Monitor) Append(cont []float64, cat []string, group string) ([]Event, e
 	} else {
 		m.count++
 	}
+	if m.delta != nil {
+		// Row-dirtiness for the incremental re-mine gate: compare the full
+		// departing row (float bits, categorical values, group label)
+		// against the arriving one, before the ring cells are overwritten.
+		// A bit-identical replacement leaves every cover's content intact
+		// and is not a change; anything else marks the position's old and
+		// new categorical values touched.
+		dirty := !had // a filling window only ever gains new content
+		if had {
+			if group != m.groups[pos] {
+				dirty = true
+			}
+			for i, v := range cont {
+				if math.Float64bits(v) != math.Float64bits(m.cont[i][pos]) {
+					dirty = true
+					break
+				}
+			}
+			if !dirty {
+				for i, v := range cat {
+					if v != m.cat[i][pos] {
+						dirty = true
+						break
+					}
+				}
+			}
+		}
+		if dirty {
+			var old []string
+			if had {
+				for i := range m.cat {
+					m.catScratch[i] = m.cat[i][pos]
+				}
+				old = m.catScratch
+			}
+			m.delta.Touch(old, cat)
+		}
+	}
 	for i, v := range cont {
 		m.cont[i][pos] = v
 	}
@@ -293,7 +365,12 @@ func (m *Monitor) Append(cont []float64, cat []string, group string) ([]Event, e
 	m.groups[pos] = group
 
 	m.sinceMine++
-	if m.sinceMine < m.cfg.MineEvery || m.count < m.cfg.MineEvery {
+	// Cadence guard. A second `m.count < m.cfg.MineEvery` clause used to
+	// ride along here; during first fill it was dead (count never trails
+	// sinceMine), and once the window was full it could only fire for
+	// MineEvery > WindowSize — silently suppressing every re-mine forever.
+	// That misconfiguration is now rejected by Validate instead.
+	if m.sinceMine < m.cfg.MineEvery {
 		return nil, nil
 	}
 	m.sinceMine = 0
@@ -403,6 +480,22 @@ func (m *Monitor) catAttrs() []int {
 	return out
 }
 
+// changeSummary translates the delta index's column-keyed touch counts
+// into the attribute-keyed form core's incremental gate consumes
+// (categorical column i is snapshot attribute len(Continuous)+i, matching
+// catAttrs).
+func (m *Monitor) changeSummary() core.ChangeSummary {
+	s := m.delta.Summary()
+	ch := core.ChangeSummary{
+		RowsTouched: s.RowsTouched,
+		Touched:     make(map[int]map[string]int, len(s.Cats)),
+	}
+	for col, vals := range s.Cats {
+		ch.Touched[len(m.schema.Continuous)+col] = vals
+	}
+	return ch
+}
+
 // Current returns the patterns of the latest snapshot.
 func (m *Monitor) Current() []pattern.Contrast { return m.current }
 
@@ -436,9 +529,22 @@ func (m *Monitor) remine() ([]Event, error) {
 		start = time.Now()
 		startTS = tr.Now()
 	}
-	res := core.Mine(d, m.cfg.Mining)
+	incremental := m.delta != nil && !m.cfg.DisableIncrementalRemine
+	var res core.Result
+	if incremental {
+		// Incremental re-evaluation: hand the miner the previous window's
+		// cached state plus the change summary accumulated since, and keep
+		// the state it returns for the next window. The summary is only
+		// reset once consumed — skipped (unmineable) re-mines keep
+		// accumulating so the next successful one sees every change.
+		res, m.remState = core.MineIncremental(d, m.cfg.Mining, m.remState, m.changeSummary())
+		m.delta.ResetSummary()
+	} else {
+		res = core.Mine(d, m.cfg.Mining)
+	}
 	if rec.Enabled() {
 		rec.RemineObserve(time.Since(start))
+		rec.RemineMode(incremental)
 	}
 	if tr.Enabled() {
 		tr.Remine(startTS, d.Rows(), len(res.Contrasts), time.Since(start))
@@ -510,9 +616,16 @@ func (m *Monitor) diff(d *dataset.Dataset, next []pattern.Contrast) []Event {
 // overlap of the two intervals (intersection width / union width). Higher
 // is better; itemsets with no continuous attributes score 0 (any
 // structural match is then exact — categorical values already agreed).
-// Unbounded ends are clamped so ±Inf boundaries still compare sensibly:
-// an infinite intersection counts as a full match on that attribute, an
-// infinite union with a finite intersection as no overlap credit.
+//
+// Unbounded ends make the Jaccard ratio degenerate, so they are scored by
+// cases — symmetrically, because window-to-window clamping can unbound
+// either itemset's end and pairing must not flip with clamp direction:
+// an infinite intersection (both intervals unbounded the same way) is a
+// full match; a finite intersection inside an unbounded union is scored
+// against the narrower interval's width when that is finite (a bounded
+// interval nested in a half-line keeps the credit it would earn against
+// its own extent), and only drops to zero when both intervals are
+// unbounded (opposite ways — their overlap says nothing about alignment).
 func rangeOverlap(a, b pattern.Itemset) float64 {
 	score := 0.0
 	for _, ia := range a.Items() {
@@ -532,7 +645,14 @@ func rangeOverlap(a, b pattern.Itemset) float64 {
 		case math.IsInf(inter, 1):
 			score++ // both unbounded the same way: treat as full overlap
 		case math.IsInf(union, 1):
-			// finite overlap inside an unbounded union: no credit
+			// Finite intersection, unbounded union: fall back to the
+			// narrower interval's own width as the denominator, so a finite
+			// interval nested inside a half-line still earns its containment
+			// fraction whichever side of the pair it sits on.
+			width := math.Min(ia.Range.Hi-ia.Range.Lo, ib.Range.Hi-ib.Range.Lo)
+			if !math.IsInf(width, 1) && width > 0 {
+				score += inter / width
+			}
 		default:
 			score += inter / union
 		}

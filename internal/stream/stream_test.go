@@ -403,6 +403,124 @@ func TestTinyWindowMinesEveryAppend(t *testing.T) {
 	}
 }
 
+// TestCadenceGuardCountClauseRemoved pins the cadence-guard fix. The old
+// guard carried a second `m.count < m.cfg.MineEvery` clause; the audit
+// showed it dead for every valid config (during first fill the row count
+// never trails the appends-since-mine counter, and a saturated window
+// holds WindowSize ≥ MineEvery rows) — but for MineEvery > WindowSize it
+// silently suppressed every re-mine forever. With the clause gone, a
+// tiny window forced past Validate still attempts a re-mine each time the
+// cadence comes due: every attempt lands in Mines() or SkippedMines().
+func TestCadenceGuardCountClauseRemoved(t *testing.T) {
+	m := mustMonitor(t, lineSchema(), Config{
+		WindowSize: 4,
+		MineEvery:  4,
+		Mining:     core.Config{Measure: pattern.SurprisingMeasure, MaxDepth: 1},
+	})
+	m.cfg.MineEvery = 6 // force the misconfiguration Validate now rejects
+	const appends = 12
+	for i := 0; i < appends; i++ {
+		group := []string{"pass", "fail"}[i%2]
+		_, err := m.Append([]float64{float64(100 + i)}, []string{"m1"}, group)
+		if err != nil && !errors.Is(err, ErrWindowNotMineable) {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// Due at appends 6 and 12. The removed clause compared the window's
+	// row count (at most 4) against the cadence (6) and skipped both —
+	// zero attempts, reported as a clean "no changes" stream.
+	if got := m.Mines() + m.SkippedMines(); got != 2 {
+		t.Errorf("mines(%d)+skipped(%d) = %d attempts, want 2 (every due re-mine runs)",
+			m.Mines(), m.SkippedMines(), got)
+	}
+	if m.Mines() == 0 {
+		t.Error("two-group window never mined despite due re-mines")
+	}
+}
+
+// TestRangeOverlapSymmetric pins the unbounded-interval scoring cases:
+// the overlap score must not depend on which side of the pair an
+// unbounded end sits (clamping direction flips between windows).
+func TestRangeOverlapSymmetric(t *testing.T) {
+	inf := math.Inf(1)
+	set := func(lo, hi float64) pattern.Itemset {
+		return pattern.NewItemset(pattern.RangeItem(0, lo, hi))
+	}
+	cases := []struct {
+		name string
+		a, b pattern.Itemset
+		want float64
+	}{
+		{"finite Jaccard", set(0, 4), set(2, 6), 2.0 / 6.0},
+		{"identical finite", set(1, 3), set(1, 3), 1},
+		{"both unbounded same way", set(0, inf), set(1, inf), 1},
+		{"opposite half-lines", set(-inf, 5), set(3, inf), 0},
+		{"finite nested in half-line", set(2, 6), set(0, inf), 1},
+		{"finite overlapping half-line", set(2, 6), set(4, inf), 0.5},
+		{"disjoint", set(0, 1), set(2, 3), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, rev := rangeOverlap(tc.a, tc.b), rangeOverlap(tc.b, tc.a)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("rangeOverlap = %v, want %v", got, tc.want)
+			}
+			if math.Float64bits(got) != math.Float64bits(rev) {
+				t.Errorf("asymmetric: a,b=%v but b,a=%v", got, rev)
+			}
+		})
+	}
+}
+
+// TestDiffSiblingPatternsBoundaryJitterUnbounded: the regression the
+// symmetric scoring fixes. One window clamps the high sibling to a
+// half-line, the next re-bounds it; under the old scoring a finite
+// interval inside an unbounded union earned zero credit, so both
+// previous siblings tied at 0 and first-match order — not range
+// continuity — decided the pairing, emitting spurious events for a
+// stable pattern set.
+func TestDiffSiblingPatternsBoundaryJitterUnbounded(t *testing.T) {
+	inf := math.Inf(1)
+	mkData := func(name string) *dataset.Dataset {
+		x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		g := make([]string, len(x))
+		for i := range g {
+			g[i] = []string{"pass", "fail"}[i%2]
+		}
+		return dataset.NewBuilder(name).
+			AddContinuous("temp", x).
+			SetGroups(g).
+			MustBuild()
+	}
+	mkC := func(lo, hi, score float64) pattern.Contrast {
+		return pattern.Contrast{
+			Set:   pattern.NewItemset(pattern.RangeItem(0, lo, hi)),
+			Score: score,
+		}
+	}
+	m := mustMonitor(t, Schema{Name: "line", Continuous: []string{"temp"}},
+		Config{WindowSize: 100, MineEvery: 50})
+	m.curData = mkData("prev")
+	m.current = []pattern.Contrast{
+		mkC(-inf, 5, 0.5), // low sibling, clamped low end
+		mkC(5, inf, 0.9),  // high sibling, clamped high end
+	}
+	// Next window re-bounds the high sibling to a finite interval that
+	// also pokes just below the previous split point: it overlaps both
+	// previous siblings, and both unions are unbounded.
+	events := m.diff(mkData("next"), []pattern.Contrast{
+		mkC(4.8, 9, 0.9),    // high sibling, finite this window
+		mkC(-inf, 4.8, 0.5), // low sibling, jittered boundary
+	})
+	for _, e := range events {
+		t.Logf("spurious event %s: %s (score %.2f, prev %.2f)",
+			e.Kind, e.Format, e.Contrast.Score, e.PrevScore)
+	}
+	if len(events) != 0 {
+		t.Errorf("stable clamped siblings produced %d events, want 0", len(events))
+	}
+}
+
 // TestConfigValidate mirrors core's configcheck tests: every actively
 // malformed field is rejected with a *FieldError naming it, zero values are
 // never errors, and an invalid embedded Mining config surfaces the core
@@ -421,6 +539,11 @@ func TestConfigValidate(t *testing.T) {
 		{"NaN drift", Config{DriftDelta: math.NaN()}, "DriftDelta"},
 		{"negative event floor", Config{MinEventScore: -1}, "MinEventScore"},
 		{"NaN event floor", Config{MinEventScore: math.NaN()}, "MinEventScore"},
+		{"cadence exceeds window", Config{WindowSize: 100, MineEvery: 101}, "MineEvery"},
+		{"cadence exceeds tiny window", Config{WindowSize: 2, MineEvery: 3}, "MineEvery"},
+		{"cadence exceeds defaulted window", Config{MineEvery: 2001}, "MineEvery"},
+		{"cadence equals window", Config{WindowSize: 100, MineEvery: 100}, ""},
+		{"cadence equals defaulted window", Config{MineEvery: 2000}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
